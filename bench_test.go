@@ -1,0 +1,231 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per experiment; headline numbers are attached as custom
+// metrics), plus ablation benchmarks for the design choices called out in
+// DESIGN.md §5. Run with:
+//
+//	go test -bench=. -benchmem
+package scalana_test
+
+import (
+	"testing"
+
+	"scalana/internal/detect"
+	"scalana/internal/exp"
+	"scalana/internal/fit"
+	"scalana/internal/prof"
+	"scalana/internal/psg"
+
+	scalana "scalana"
+)
+
+func fitStrategy(i int) fit.MergeStrategy { return fit.MergeStrategy(i) }
+
+// benchExp runs one registered experiment per iteration and republishes
+// its headline values as benchmark metrics.
+func benchExp(b *testing.B, id string) {
+	e := exp.Get(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last *exp.Result
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for name, v := range last.Values {
+		b.ReportMetric(v, name)
+	}
+}
+
+func BenchmarkTable1ToolComparison(b *testing.B)    { benchExp(b, "table1") }
+func BenchmarkFig2InjectedDelay(b *testing.B)       { benchExp(b, "fig2") }
+func BenchmarkFig4PSGStages(b *testing.B)           { benchExp(b, "fig4") }
+func BenchmarkFig6PPG(b *testing.B)                 { benchExp(b, "fig6") }
+func BenchmarkFig7ProblematicVertices(b *testing.B) { benchExp(b, "fig7") }
+func BenchmarkFig8Backtracking(b *testing.B)        { benchExp(b, "fig8") }
+func BenchmarkTable2PSGSizes(b *testing.B)          { benchExp(b, "table2") }
+func BenchmarkTable3StaticOverhead(b *testing.B)    { benchExp(b, "table3") }
+func BenchmarkFig10RuntimeOverhead(b *testing.B)    { benchExp(b, "fig10") }
+func BenchmarkFig11StorageCost(b *testing.B)        { benchExp(b, "fig11") }
+func BenchmarkTable4DetectionCost(b *testing.B)     { benchExp(b, "table4") }
+func BenchmarkFig12ZeusMP(b *testing.B)             { benchExp(b, "fig12") }
+func BenchmarkFig13ZeusMPTools(b *testing.B)        { benchExp(b, "fig13") }
+func BenchmarkFig14SST(b *testing.B)                { benchExp(b, "fig14") }
+func BenchmarkFig15SSTPMU(b *testing.B)             { benchExp(b, "fig15") }
+func BenchmarkFig16NekbonePMU(b *testing.B)         { benchExp(b, "fig16") }
+
+// ---- ablations (DESIGN.md §5) ----
+
+// BenchmarkAblationContraction compares PSG size and build cost with
+// contraction enabled vs disabled.
+func BenchmarkAblationContraction(b *testing.B) {
+	app := scalana.GetApp("zeusmp")
+	prog, err := app.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, on := range []bool{true, false} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var g *psg.Graph
+			for i := 0; i < b.N; i++ {
+				g, err = psg.Build(prog, psg.Options{MaxLoopDepth: 10, Contract: on})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(g.Stats.VerticesAfter), "vertices")
+		})
+	}
+}
+
+// BenchmarkAblationCompression compares profile storage with graph-guided
+// communication compression on vs off (paper §III-B2).
+func BenchmarkAblationCompression(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var storage int64
+			for i := 0; i < b.N; i++ {
+				cfg := prof.DefaultConfig()
+				cfg.Compress = on
+				out, err := scalana.Run(scalana.RunConfig{
+					App: scalana.GetApp("cg"), NP: 32, Tool: scalana.ToolScalAna, Prof: cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				storage = out.StorageBytes
+			}
+			b.ReportMetric(float64(storage), "storage_bytes")
+		})
+	}
+}
+
+// BenchmarkAblationMerge compares the cross-rank merge strategies for
+// non-scalable vertex detection (paper §IV-A discusses all four).
+func BenchmarkAblationMerge(b *testing.B) {
+	cfg := prof.DefaultConfig()
+	cfg.SampleHz = 2000
+	runs, err := scalana.Sweep(scalana.GetApp("zeusmp"), []int{8, 16, 32}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []struct {
+		name string
+		m    int
+	}{{"median", 0}, {"mean", 1}, {"max", 2}, {"single", 3}, {"cluster", 4}} {
+		b.Run(strat.name, func(b *testing.B) {
+			var found float64
+			for i := 0; i < b.N; i++ {
+				dcfg := detect.DefaultConfig()
+				dcfg.Merge = fitStrategy(strat.m)
+				rep, err := scalana.DetectScalingLoss(runs, dcfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				found = float64(len(rep.NonScalable))
+			}
+			b.ReportMetric(found, "nonscalable_found")
+		})
+	}
+}
+
+// BenchmarkAblationSampling sweeps the sampling frequency and reports the
+// measured runtime overhead (the precision/overhead trade-off of §V).
+func BenchmarkAblationSampling(b *testing.B) {
+	app := scalana.GetApp("cg")
+	base, err := scalana.Run(scalana.RunConfig{App: app, NP: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, hz := range []float64{100, 200, 1000, 5000} {
+		b.Run(hzName(hz), func(b *testing.B) {
+			var ovh float64
+			for i := 0; i < b.N; i++ {
+				cfg := prof.DefaultConfig()
+				cfg.SampleHz = hz
+				out, err := scalana.Run(scalana.RunConfig{
+					App: app, NP: 32, Tool: scalana.ToolScalAna, Prof: cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ovh = 100 * (out.Result.Elapsed - base.Result.Elapsed) / base.Result.Elapsed
+			}
+			b.ReportMetric(ovh, "overhead_pct")
+		})
+	}
+}
+
+// BenchmarkAblationPruning compares backtracking with and without
+// wait-state pruning of communication dependence edges (paper §IV-B).
+func BenchmarkAblationPruning(b *testing.B) {
+	cfg := prof.DefaultConfig()
+	cfg.SampleHz = 2000
+	runs, err := scalana.Sweep(scalana.GetApp("zeusmp"), []int{8, 16, 32}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, prune := range []bool{true, false} {
+		name := "pruned"
+		if !prune {
+			name = "unpruned"
+		}
+		b.Run(name, func(b *testing.B) {
+			var steps float64
+			for i := 0; i < b.N; i++ {
+				dcfg := detect.DefaultConfig()
+				dcfg.PruneWaitless = prune
+				rep, err := scalana.DetectScalingLoss(runs, dcfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = 0
+				for _, p := range rep.Paths {
+					steps += float64(len(p.Steps))
+				}
+			}
+			b.ReportMetric(steps, "path_steps")
+		})
+	}
+}
+
+// BenchmarkScale2048 exercises the largest-scale claim: Zeus-MP profiled
+// by ScalAna at 2,048 simulated ranks (paper §VI-C reports 1.73% average
+// overhead at this scale on Tianhe-2).
+func BenchmarkScale2048(b *testing.B) {
+	app := scalana.GetApp("zeusmp")
+	for i := 0; i < b.N; i++ {
+		base, err := scalana.Run(scalana.RunConfig{App: app, NP: 2048})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := scalana.Run(scalana.RunConfig{App: app, NP: 2048, Tool: scalana.ToolScalAna})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(out.Result.Elapsed-base.Result.Elapsed)/base.Result.Elapsed, "overhead_pct")
+		b.ReportMetric(float64(out.StorageBytes), "storage_bytes")
+	}
+}
+
+func hzName(hz float64) string {
+	switch hz {
+	case 100:
+		return "100Hz"
+	case 200:
+		return "200Hz"
+	case 1000:
+		return "1000Hz"
+	default:
+		return "5000Hz"
+	}
+}

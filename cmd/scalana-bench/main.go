@@ -1,0 +1,73 @@
+// Command scalana-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	scalana-bench -list            # show all experiments
+//	scalana-bench -exp table1      # one experiment
+//	scalana-bench -all             # everything, in paper order
+//	scalana-bench -all -o results/ # also write one .txt per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"scalana/internal/exp"
+)
+
+func main() {
+	id := flag.String("exp", "", "experiment id (see -list)")
+	all := flag.Bool("all", false, "run every experiment")
+	list := flag.Bool("list", false, "list experiments")
+	outDir := flag.String("o", "", "directory to write per-experiment .txt files")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var toRun []exp.Experiment
+	switch {
+	case *all:
+		toRun = exp.All()
+	case *id != "":
+		e := exp.Get(*id)
+		if e == nil {
+			fatalf("unknown experiment %q (try -list)", *id)
+		}
+		toRun = []exp.Experiment{*e}
+	default:
+		fatalf("one of -exp or -all is required (try -list)")
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	for _, e := range toRun {
+		start := time.Now()
+		res, err := e.Run()
+		if err != nil {
+			fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Printf("==== %s: %s (took %.1fs) ====\n\n%s\n", res.ID, e.Title, time.Since(start).Seconds(), res.Text)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, res.ID+".txt")
+			if err := os.WriteFile(path, []byte(res.Text), 0o644); err != nil {
+				fatalf("write %s: %v", path, err)
+			}
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scalana-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command scalana-detect is step 3 of the ScalAna workflow (paper §V): it
+// profiles an application across job scales, assembles Program Performance
+// Graphs, detects problematic vertices, and runs backtracking root cause
+// detection.
+//
+// Usage:
+//
+//	scalana-detect -app zeusmp -scales 8,16,32,64
+//	scalana-detect -app cg -scales 4,8,16 -abnorm-thd 1.5 -profiles dir/
+//
+// With -profiles, previously saved scalana-prof outputs named
+// <app>.<np>.json are loaded from the directory instead of re-running.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"scalana/internal/detect"
+	"scalana/internal/ppg"
+	"scalana/internal/prof"
+
+	scalana "scalana"
+)
+
+func main() {
+	appName := flag.String("app", "", "workload name")
+	scales := flag.String("scales", "4,8,16,32", "comma-separated rank counts")
+	hz := flag.Float64("hz", 1000, "sampling frequency for profiling runs")
+	abnormThd := flag.Float64("abnorm-thd", 1.3, "AbnormThd detection parameter")
+	topK := flag.Int("topk", 10, "maximum non-scalable vertices reported")
+	profilesDir := flag.String("profiles", "", "directory of saved scalana-prof outputs")
+	flag.Parse()
+
+	app := scalana.GetApp(*appName)
+	if app == nil {
+		fatalf("unknown app %q", *appName)
+	}
+	var nps []int
+	for _, s := range strings.Split(*scales, ",") {
+		np, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatalf("bad scale %q", s)
+		}
+		if np >= app.MinNP {
+			nps = append(nps, np)
+		}
+	}
+
+	var runs []detect.ScaleRun
+	if *profilesDir != "" {
+		prog, graph, err := scalana.Compile(app)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		_ = prog
+		for _, np := range nps {
+			path := filepath.Join(*profilesDir, fmt.Sprintf("%s.%d.json", app.Name, np))
+			ps, err := prof.LoadProfileSet(path)
+			if err != nil {
+				fatalf("load %s: %v", path, err)
+			}
+			pg, err := ppg.Build(graph, ps.Profiles)
+			if err != nil {
+				fatalf("assemble PPG from %s: %v", path, err)
+			}
+			runs = append(runs, detect.ScaleRun{NP: np, PPG: pg})
+		}
+	} else {
+		cfg := prof.DefaultConfig()
+		cfg.SampleHz = *hz
+		var err error
+		runs, err = scalana.Sweep(app, nps, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	dcfg := detect.DefaultConfig()
+	dcfg.AbnormThd = *abnormThd
+	dcfg.TopK = *topK
+	rep, err := scalana.DetectScalingLoss(runs, dcfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prog, err := app.Parse()
+	if err != nil {
+		prog = nil
+	}
+	fmt.Print(rep.Render(prog))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scalana-detect: "+format+"\n", args...)
+	os.Exit(1)
+}

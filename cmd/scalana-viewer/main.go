@@ -1,0 +1,91 @@
+// Command scalana-viewer is step 4 of the ScalAna workflow (paper §V): a
+// terminal rendition of the GUI in paper Fig. 9. The upper panel lists the
+// diagnosed root-cause vertices with their calling paths; the lower panel
+// shows the source code around each root cause.
+//
+// Usage:
+//
+//	scalana-viewer -app zeusmp -scales 8,16,32,64
+//	scalana-viewer -app sst -scales 4,8,16,32 -context 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"scalana/internal/detect"
+	"scalana/internal/prof"
+
+	scalana "scalana"
+)
+
+func main() {
+	appName := flag.String("app", "", "workload name")
+	scales := flag.String("scales", "4,8,16,32", "comma-separated rank counts")
+	context := flag.Int("context", 2, "source lines of context around each root cause")
+	flag.Parse()
+
+	app := scalana.GetApp(*appName)
+	if app == nil {
+		fatalf("unknown app %q", *appName)
+	}
+	var nps []int
+	for _, s := range strings.Split(*scales, ",") {
+		np, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatalf("bad scale %q", s)
+		}
+		if np >= app.MinNP {
+			nps = append(nps, np)
+		}
+	}
+	cfg := prof.DefaultConfig()
+	cfg.SampleHz = 1000
+	runs, err := scalana.Sweep(app, nps, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep, err := scalana.DetectScalingLoss(runs, detect.Config{})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prog, err := app.Parse()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("┌─ root cause vertices and calling paths ─ %s (np=%d) ─┐\n", app.Name, rep.NP)
+	for i, c := range rep.Causes {
+		var callPath []string
+		for _, v := range c.Vertex.Path() {
+			callPath = append(callPath, fmt.Sprintf("%s@%d", v.Kind, v.Pos.Line))
+		}
+		fmt.Printf("│ %d. %-6s %s:%d  score=%.3f  path: %s\n",
+			i+1, c.Vertex.Kind, c.Vertex.Pos.File, c.Vertex.Pos.Line, c.Score, strings.Join(callPath, " > "))
+	}
+	fmt.Printf("└%s┘\n\n", strings.Repeat("─", 58))
+
+	for i, c := range rep.Causes {
+		fmt.Printf("── code for root cause %d (%s:%d) ──\n", i+1, c.Vertex.Pos.File, c.Vertex.Pos.Line)
+		for l := c.Vertex.Pos.Line - *context; l <= c.Vertex.Pos.Line+*context; l++ {
+			src := prog.SourceLine(l)
+			if src == "" && l != c.Vertex.Pos.Line {
+				continue
+			}
+			marker := "  "
+			if l == c.Vertex.Pos.Line {
+				marker = "=>"
+			}
+			fmt.Printf(" %s %4d  %s\n", marker, l, src)
+		}
+		fmt.Println()
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scalana-viewer: "+format+"\n", args...)
+	os.Exit(1)
+}

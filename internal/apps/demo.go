@@ -1,0 +1,83 @@
+package apps
+
+// Demonstration programs for the paper's illustrative figures: the Fig. 3
+// listing used to show PSG construction (Fig. 4), and the stencil code of
+// Fig. 6/8 used to show the PPG and the backtracking walk.
+
+func init() {
+	register(&App{
+		Name: "fig3", File: "example.mp", PaperKLoc: 0,
+		Description: "the paper's Fig. 3 example program (PSG construction demo)",
+		Source:      Fig3Source,
+	})
+	register(&App{
+		Name: "stencil-demo", File: "stencil.mp", PaperKLoc: 0,
+		Description: "the Fig. 6 stencil: warmup loop, sendrecv, two exchange loops",
+		Source:      stencilSource(false),
+	})
+	register(&App{
+		Name: "stencil-demo-imbalanced", File: "stencil.mp", PaperKLoc: 0,
+		Description: "the Fig. 8 stencil with extra work on even ranks (problematic vertices demo)",
+		Source:      stencilSource(true),
+	})
+}
+
+// Fig3Source is the MiniMP port of the paper's Fig. 3 MPI program.
+const Fig3Source = `// example.mp: the paper's Fig. 3 example
+func foo() {
+	if (mpi_rank() % 2 == 0) {
+		mpi_send(mpi_rank() + 1, 0, 64);
+	} else {
+		mpi_recv(mpi_rank() - 1, 0, 64);
+	}
+}
+func main() {
+	var N = 16;
+	var sum = 0;
+	var product = 1;
+	var A = alloc(N);
+	for (var i = 0; i < N; i = i + 1) {      // Loop 1
+		A[i] = rand();
+		for (var j = 0; j < i; j = j + 1) {  // Loop 1.1
+			sum = sum + A[j];
+		}
+		for (var k = 0; k < i; k = k + 1) {  // Loop 1.2
+			product = product * A[k];
+		}
+	}
+	foo();
+	mpi_bcast(0, 64);
+}
+`
+
+func stencilSource(imbalanced bool) string {
+	imb := "0"
+	if imbalanced {
+		imb = "1"
+	}
+	return `// stencil.mp: the paper's Fig. 6 code shape
+func main() {
+	var rank = mpi_rank();
+	var np = mpi_size();
+	var next = (rank + 1) % np;
+	var prev = (rank - 1 + np) % np;
+	var imbalanced = ` + imb + `;
+	for (var w = 0; w < 4; w = w + 1) {          // init loop
+		compute(4e6, 2e5, 1e5, 131072);
+	}
+	mpi_sendrecv(next, 1, 8192, prev, 1, 8192);
+	for (var t = 0; t < 6; t = t + 1) {          // exchange loop 1
+		mpi_sendrecv(next, 2, 8192, prev, 2, 8192);
+		compute(3e6, 1.5e5, 7.5e4, 131072);
+		if (imbalanced == 1 && rank % 2 == 0) {
+			compute(6e6, 3e5, 1.5e5, 131072);    // even ranks run long
+		}
+	}
+	for (var u = 0; u < 6; u = u + 1) {          // exchange loop 2
+		mpi_sendrecv(prev, 3, 8192, next, 3, 8192);
+		compute(3e6, 1.5e5, 7.5e4, 131072);
+	}
+	mpi_allreduce(8);
+}
+`
+}

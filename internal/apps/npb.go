@@ -1,0 +1,212 @@
+package apps
+
+// MiniMP ports of the NPB kernels (paper §VI uses CLASS C/D; the constants
+// here are scaled so a simulated strong-scaling sweep finishes quickly
+// while keeping each kernel's communication skeleton and loop structure).
+
+func init() {
+	register(&App{
+		Name: "cg", File: "cg.mp", PaperKLoc: 2.0,
+		Description: "NPB CG: conjugate gradient, butterfly sendrecv reduction per inner iteration plus allreduce",
+		Source:      cgSource("0"),
+	})
+	register(&App{
+		Name: "cg-delay", File: "cg.mp", PaperKLoc: 2.0,
+		Description: "NPB CG with an injected delay on rank 4 (paper Fig. 2 motivating example)",
+		Source:      cgSource("1"),
+	})
+	register(&App{
+		Name: "ep", File: "ep.mp", PaperKLoc: 0.6,
+		Description: "NPB EP: embarrassingly parallel random-number kernel, compute plus trailing allreduces",
+		Source: `// ep.mp: embarrassingly parallel kernel
+func main() {
+	var np = mpi_size();
+	var work = 6e9 / np;
+	for (var blk = 0; blk < 16; blk = blk + 1) { // gaussian pair blocks
+		compute(work / 16, work / 80, work / 160, 65536);
+	}
+	mpi_allreduce(8);  // sx
+	mpi_allreduce(8);  // sy
+	mpi_allreduce(80); // q counts
+}
+`,
+	})
+	register(&App{
+		Name: "ft", File: "ft.mp", PaperKLoc: 2.5,
+		Description: "NPB FT: 3-D FFT, all-to-all transpose per iteration plus checksum allreduce",
+		Source: `// ft.mp: 3-D FFT kernel
+func fft_slab(work) {
+	for (var pass = 0; pass < 3; pass = pass + 1) { // 1-D FFTs along each axis
+		compute(work / 3, work / 48, work / 96, 524288);
+	}
+}
+func main() {
+	var np = mpi_size();
+	var work = 2.4e9 / np;
+	var slab = 3.2e7 / (np * np); // transpose slice per pair
+	mpi_bcast(0, 64); // problem setup
+	for (var it = 0; it < 6; it = it + 1) {
+		fft_slab(work);
+		mpi_alltoall(slab);      // global transpose
+		compute(work / 6, work / 96, work / 192, 524288); // evolve
+		mpi_allreduce(16);       // checksum
+	}
+}
+`,
+	})
+	register(&App{
+		Name: "mg", File: "mg.mp", PaperKLoc: 2.8,
+		Description: "NPB MG: V-cycle multigrid, per-level ring halo exchange, coarsest-level allreduce",
+		Source: `// mg.mp: multigrid V-cycle
+func halo(next, prev, bytes) {
+	var r1 = mpi_irecv(prev, 3, bytes);
+	var r2 = mpi_irecv(next, 4, bytes);
+	mpi_isend(next, 3, bytes);
+	mpi_isend(prev, 4, bytes);
+	mpi_waitall();
+}
+func main() {
+	var rank = mpi_rank();
+	var np = mpi_size();
+	var next = (rank + 1) % np;
+	var prev = (rank - 1 + np) % np;
+	var work = 1.6e9 / np;
+	for (var it = 0; it < 8; it = it + 1) {
+		for (var lev = 0; lev < 4; lev = lev + 1) {
+			var scale = pow(8, lev);     // coarser levels shrink by 8x
+			if (lev == 3) {
+				mpi_allreduce(8);        // coarsest grid solve
+				compute(work / (64 * scale), work / (1024 * scale), work / (2048 * scale), 8192);
+			} else {
+				halo(next, prev, 65536 / scale);
+				compute(work / scale, work / (64 * scale), work / (128 * scale), 524288 / scale);
+			}
+		}
+		mpi_allreduce(8); // residual norm
+	}
+}
+`,
+	})
+	register(&App{
+		Name: "lu", File: "lu.mp", PaperKLoc: 7.7,
+		Description: "NPB LU: SSOR with pipelined lower/upper wavefront sweeps along the rank dimension",
+		Source: `// lu.mp: SSOR pipelined wavefront
+func main() {
+	var rank = mpi_rank();
+	var np = mpi_size();
+	var work = 2.0e9 / np;
+	for (var it = 0; it < 6; it = it + 1) {
+		// Lower-triangular sweep: k-planes flow rank 0 -> np-1.
+		for (var k = 0; k < 4; k = k + 1) {
+			if (rank > 0) {
+				mpi_recv(rank - 1, k, 16384);
+			}
+			compute(work / 8, work / 64, work / 128, 262144);
+			if (rank < np - 1) {
+				mpi_send(rank + 1, k, 16384);
+			}
+		}
+		// Upper-triangular sweep: reverse direction.
+		for (var k2 = 0; k2 < 4; k2 = k2 + 1) {
+			if (rank < np - 1) {
+				mpi_recv(rank + 1, 100 + k2, 16384);
+			}
+			compute(work / 8, work / 64, work / 128, 262144);
+			if (rank > 0) {
+				mpi_send(rank - 1, 100 + k2, 16384);
+			}
+		}
+		mpi_allreduce(40); // rsdnm
+	}
+}
+`,
+	})
+	register(&App{
+		Name: "is", File: "is.mp", PaperKLoc: 1.3,
+		Description: "NPB IS: integer bucket sort, alltoall key exchange plus allreduce verification",
+		Source: `// is.mp: integer sort
+func main() {
+	var np = mpi_size();
+	var keysPerRank = 1.6e8 / np;
+	for (var it = 0; it < 10; it = it + 1) {
+		compute(keysPerRank, keysPerRank / 8, keysPerRank / 16, 262144); // local bucket counts
+		mpi_allreduce(4096);                 // bucket size exchange
+		mpi_alltoall(keysPerRank * 4 / np);  // key redistribution
+		compute(keysPerRank / 2, keysPerRank / 16, keysPerRank / 32, 262144); // local ranking
+	}
+	mpi_allreduce(8); // verification
+}
+`,
+	})
+	register(&App{
+		Name: "bt", File: "bt.mp", PaperKLoc: 9.3,
+		Description: "NPB BT: block-tridiagonal ADI, x/y/z sweeps with ring sendrecv per direction",
+		Source:      adiSource("bt.mp", "3.0e9", "4"),
+	})
+	register(&App{
+		Name: "sp", File: "sp.mp", PaperKLoc: 5.1,
+		Description: "NPB SP: scalar-pentadiagonal ADI, x/y/z sweeps with ring sendrecv per direction",
+		Source:      adiSource("sp.mp", "2.2e9", "5"),
+	})
+}
+
+// cgSource builds the CG kernel; delay != "0" injects the Fig. 2 delay on
+// rank 4.
+func cgSource(delay string) string {
+	return `// cg.mp: conjugate gradient kernel (paper Fig. 2 structure)
+func conj_grad(rank, np, work) {
+	for (var cgit = 0; cgit < 8; cgit = cgit + 1) {
+		compute(work, work / 16, work / 32, 2097152 / np); // local A.p
+		// Partition reduction: butterfly sendrecv over log2(np) strides
+		// (the "for { mpi_sendrecv }" loops of Fig. 2(a)).
+		for (var s = 1; s < np; s = s * 2) {
+			var bit = floor(rank / s) % 2;
+			var partner = rank + s * (1 - 2 * bit);
+			if (partner < np) {
+				mpi_sendrecv(partner, 1, 65536 / np, partner, 1, 65536 / np);
+			}
+		}
+		compute(work / 4, work / 64, work / 128, 1048576 / np); // p, q updates
+		mpi_allreduce(8); // rho
+	}
+}
+func main() {
+	var rank = mpi_rank();
+	var np = mpi_size();
+	var work = 1.8e8 / np;
+	var injected = ` + delay + `;
+	for (var it = 0; it < 12; it = it + 1) {
+		if (injected == 1 && rank == 4) {
+			compute(4.5e7, 1e6, 5e5, 262144); // injected delay (Fig. 2)
+		}
+		conj_grad(rank, np, work);
+		mpi_allreduce(8); // zeta
+	}
+}
+`
+}
+
+// adiSource builds the BT/SP-style ADI sweep kernel.
+func adiSource(file, totalWork, iters string) string {
+	return `// ` + file + `: ADI solver with x/y/z line sweeps
+func sweep(rank, np, work, dir) {
+	var next = (rank + 1) % np;
+	var prev = (rank - 1 + np) % np;
+	mpi_sendrecv(next, dir, 32768, prev, dir, 32768);
+	compute(work, work / 16, work / 32, 524288);
+	mpi_sendrecv(prev, 10 + dir, 32768, next, 10 + dir, 32768);
+}
+func main() {
+	var rank = mpi_rank();
+	var np = mpi_size();
+	var work = ` + totalWork + ` / (np * 3 * ` + iters + `);
+	for (var it = 0; it < ` + iters + `; it = it + 1) {
+		compute(work / 2, work / 32, work / 64, 524288); // rhs
+		for (var dir = 0; dir < 3; dir = dir + 1) {
+			sweep(rank, np, work, dir);
+		}
+		mpi_allreduce(40); // residual
+	}
+}
+`
+}

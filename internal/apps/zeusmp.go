@@ -1,0 +1,126 @@
+package apps
+
+// Zeus-MP port (paper §VI-D1). The original code's scaling loss: only some
+// busy ranks execute the boundary-value loop at bval3d.F:155 while the
+// others idle in non-blocking P2P phases (nudt.F:227/269/328); the delay
+// propagates through the exchanges and the MPI_Allreduce at nudt.F:361
+// synchronizes everyone to the stragglers. A second root cause is the
+// memory-bound hsmoc.F loop nest (high load/store and cache-miss counts).
+//
+// The paper's fixes, applied in the -opt variant: MPI+OpenMP multithreading
+// of the bval3d loop (modelled as an 8x speedup of the busy loop) and loop
+// tiling + scalar promotion in hsmoc (modelled as a working set that fits
+// in cache).
+
+func init() {
+	register(&App{
+		Name: "zeusmp", File: "zeusmp.mp", PaperKLoc: 44.1,
+		Description: "Zeus-MP CFD: busy-rank bval3d boundary loop + non-blocking nudt exchanges + dt allreduce",
+		Source:      zeusmpSource(1, 0),
+		MinNP:       4,
+	})
+	register(&App{
+		Name: "zeusmp-opt", File: "zeusmp.mp", PaperKLoc: 44.1,
+		Description: "Zeus-MP with the paper's fixes: OpenMP-parallel bval3d and tiled hsmoc loops",
+		Source:      zeusmpSource(8, 1),
+		MinNP:       4,
+	})
+}
+
+func zeusmpSource(ompThreads, tiled int) string {
+	omp := "1"
+	if ompThreads == 8 {
+		omp = "8"
+	}
+	til := "0"
+	if tiled == 1 {
+		til = "1"
+	}
+	return `// zeusmp.mp: Zeus-MP astrophysical CFD (simplified)
+// setup: grid geometry, equation-of-state tables, and CFL parameters
+// (mgrid/ggen/nmlsts analogs; pure scalar code that contracts away).
+func setup(rank, np) {
+	var nx = 64;
+	var ny = 64;
+	var nz = 64;
+	var gamma = 1.6667;
+	var courant = 0.5;
+	if (np > 64) {
+		courant = 0.4;
+	}
+	var dx = 1.0 / nx;
+	var dy = 1.0 / ny;
+	var dz = 1.0 / nz;
+	var tiles = floor(np / 4);
+	if (tiles < 1) {
+		tiles = 1;
+	}
+	var x0 = rank * dx * tiles;
+	var ziso = 0;
+	if (gamma > 1.5) {
+		ziso = 1;
+	} else {
+		ziso = 0;
+	}
+	var eosTable = alloc(32);
+	for (var t = 0; t < 32; t = t + 1) {
+		eosTable[t] = pow(1.0 + t * dx, gamma);
+	}
+	var cfl = courant * min(dx, min(dy, dz));
+	var buff = sqrt(x0 * x0 + cfl * cfl) + ziso;
+	return buff + eosTable[31];
+}
+// bval3d: boundary-value update, executed only by "busy" ranks
+// (analog of bval3d.F:155 -- the root cause of the scaling loss).
+func bval3d(nloops) {
+	for (var j = 0; j < nloops; j = j + 1) {
+		compute(4.5e5, 2.2e5, 1.1e5, 262144);
+	}
+}
+// hsmoc: MoC transport loop nest (analog of hsmoc.F:665/841/1041).
+// Untiled, its working set thrashes the cache (high TOT_LST_INS/misses).
+func hsmoc(work, tiled) {
+	if (tiled == 1) {
+		for (var i = 0; i < 3; i = i + 1) {
+			compute(work / 3, work / 96, work / 192, 262144);
+		}
+	} else {
+		for (var i2 = 0; i2 < 3; i2 = i2 + 1) {
+			compute(work / 3, work / 96, work / 192, 524288);
+		}
+	}
+}
+// nudt: new-timestep computation with three non-blocking exchange phases
+// and the dt Allreduce (analogs of nudt.F:227, 269, 328, and 361).
+func nudt(rank, np) {
+	var next = (rank + 1) % np;
+	var prev = (rank - 1 + np) % np;
+	var r1 = mpi_irecv(prev, 1, 16384);
+	mpi_isend(next, 1, 16384);
+	mpi_waitall();              // nudt.F:227 analog
+	var r2 = mpi_irecv(next, 2, 16384);
+	mpi_isend(prev, 2, 16384);
+	mpi_waitall();              // nudt.F:269 analog
+	var r3 = mpi_irecv(prev, 3, 16384);
+	mpi_isend(next, 3, 16384);
+	mpi_waitall();              // nudt.F:328 analog
+	mpi_allreduce(8);           // nudt.F:361 analog: global dt
+}
+func main() {
+	var rank = mpi_rank();
+	var np = mpi_size();
+	var scalefac = setup(rank, np);
+	var work = 2.4e9 / np + scalefac * 0;
+	var omp = ` + omp + `;      // OpenMP threads in the -opt variant
+	var tiled = ` + til + `;    // hsmoc loop tiling in the -opt variant
+	mpi_bcast(0, 256);          // broadcast runtime parameters (nmlsts)
+	for (var it = 0; it < 10; it = it + 1) {
+		hsmoc(work, tiled);
+		if (rank % 4 == 0) {
+			bval3d(72 / omp);   // only busy ranks pay the boundary update
+		}
+		nudt(rank, np);
+	}
+}
+`
+}

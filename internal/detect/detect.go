@@ -1,0 +1,303 @@
+// Package detect implements ScalAna's scaling loss detection (paper §IV):
+// location-aware problematic vertex detection — non-scalable vertices via
+// log-log fitting across job scales, abnormal vertices via cross-process
+// comparison at one scale — and the backtracking root cause algorithm
+// (Algorithm 1) over the Program Performance Graph.
+package detect
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"scalana/internal/fit"
+	"scalana/internal/ppg"
+	"scalana/internal/psg"
+)
+
+// Config holds the user-tunable detection parameters from paper §V.
+type Config struct {
+	// AbnormThd flags a vertex as abnormal when its slowest rank exceeds
+	// AbnormThd times the cross-rank median (paper evaluation: 1.3).
+	AbnormThd float64
+	// SlopeThd is the log-log changing-rate threshold: with fixed total
+	// problem size, a perfectly scaling vertex's per-rank time has slope
+	// ~-1; vertices with slope above SlopeThd are non-scalable candidates.
+	SlopeThd float64
+	// MinShare filters vertices whose time share at the largest scale is
+	// negligible ("when the execution time ... accounts for a large
+	// proportion of the total time, they will become a scaling issue").
+	MinShare float64
+	// TopK caps the number of non-scalable vertices reported.
+	TopK int
+	// Merge selects the cross-rank aggregation strategy.
+	Merge fit.MergeStrategy
+	// PruneWaitless drops communication dependence edges with no waiting
+	// event (paper §IV-B). Disable only for the ablation benchmark.
+	PruneWaitless bool
+	// WaitEps is the minimum waiting time that counts as a wait state.
+	WaitEps float64
+	// MaxSteps bounds one backtracking walk.
+	MaxSteps int
+}
+
+// DefaultConfig mirrors the paper's evaluation parameters.
+func DefaultConfig() Config {
+	return Config{
+		AbnormThd:     1.3,
+		SlopeThd:      -0.25,
+		MinShare:      0.01,
+		TopK:          10,
+		Merge:         fit.MergeMedian,
+		PruneWaitless: true,
+		WaitEps:       1e-6,
+		MaxSteps:      4096,
+	}
+}
+
+// ScaleRun is one profiled execution at one job scale.
+type ScaleRun struct {
+	NP  int
+	PPG *ppg.Graph
+}
+
+// NonScalable is one vertex whose performance scales badly with the
+// process count.
+type NonScalable struct {
+	VertexKey string
+	Vertex    *psg.Vertex
+	Model     fit.LogLog
+	// Share is the vertex's fraction of total time at the largest scale.
+	Share float64
+	// Times maps np -> merged per-rank time.
+	Times map[int]float64
+}
+
+// Abnormal is one vertex whose performance differs markedly across ranks
+// at the largest scale.
+type Abnormal struct {
+	VertexKey string
+	Vertex    *psg.Vertex
+	// Ratio is max over median time across ranks (may be +Inf when only
+	// some ranks execute the vertex at all).
+	Ratio float64
+	// OutlierRanks lists the ranks exceeding the threshold.
+	OutlierRanks []int
+	Share        float64
+}
+
+// StepVia says how the backtracking walk reached a step.
+type StepVia string
+
+// Step provenance values.
+const (
+	ViaStart   StepVia = "start"
+	ViaComm    StepVia = "comm"
+	ViaControl StepVia = "control"
+	ViaData    StepVia = "data"
+)
+
+// PathStep is one hop of a root-cause path.
+type PathStep struct {
+	VertexKey string
+	Vertex    *psg.Vertex
+	Rank      int
+	Via       StepVia
+	// Wait is the waiting time of the communication edge taken to leave
+	// this step (0 for control/data hops).
+	Wait float64
+}
+
+// Path is one backtracking walk (paper Fig. 8's colored chains).
+type Path struct {
+	Steps []PathStep
+	Cause *Cause
+}
+
+// Cause is one root-cause candidate.
+type Cause struct {
+	VertexKey string
+	Vertex    *psg.Vertex
+	// Score ranks causes: time share at the largest scale times the
+	// cross-rank imbalance ratio.
+	Score     float64
+	Share     float64
+	Imbalance float64
+	Paths     int // number of paths containing this cause
+}
+
+// Report is the complete detection output.
+type Report struct {
+	NP          int
+	NonScalable []NonScalable
+	Abnormal    []Abnormal
+	Paths       []Path
+	Causes      []Cause
+}
+
+// Detect runs the full pipeline over profiled runs at multiple scales.
+// The largest scale's PPG hosts abnormal detection and backtracking.
+func Detect(runs []ScaleRun, cfg Config) (*Report, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("detect: no runs")
+	}
+	if cfg.MaxSteps == 0 {
+		cfg = fillDefaults(cfg)
+	}
+	sorted := append([]ScaleRun(nil), runs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].NP < sorted[j].NP })
+	largest := sorted[len(sorted)-1]
+
+	rep := &Report{NP: largest.NP}
+	if len(sorted) >= 2 {
+		rep.NonScalable = findNonScalable(sorted, cfg)
+	}
+	rep.Abnormal = findAbnormal(largest, cfg)
+	backtrackAll(rep, largest, cfg)
+	rankCauses(rep, largest)
+	return rep, nil
+}
+
+func fillDefaults(cfg Config) Config {
+	def := DefaultConfig()
+	if cfg.AbnormThd == 0 {
+		cfg.AbnormThd = def.AbnormThd
+	}
+	if cfg.SlopeThd == 0 {
+		cfg.SlopeThd = def.SlopeThd
+	}
+	if cfg.MinShare == 0 {
+		cfg.MinShare = def.MinShare
+	}
+	if cfg.TopK == 0 {
+		cfg.TopK = def.TopK
+	}
+	if cfg.WaitEps == 0 {
+		cfg.WaitEps = def.WaitEps
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = def.MaxSteps
+	}
+	return cfg
+}
+
+// findNonScalable fits each vertex's merged time across scales and ranks
+// vertices by their changing rate (paper §IV-A, Fig. 7(a)).
+func findNonScalable(sorted []ScaleRun, cfg Config) []NonScalable {
+	largest := sorted[len(sorted)-1]
+	total := largest.PPG.TotalTime()
+	if total <= 0 {
+		return nil
+	}
+	var out []NonScalable
+	for key := range largest.PPG.Perf {
+		v := largest.PPG.PSG.VertexByKey(key)
+		if v == nil || v.Kind == psg.KindRoot {
+			continue
+		}
+		var ps, ys []float64
+		times := map[int]float64{}
+		for _, run := range sorted {
+			row, ok := run.PPG.Perf[key]
+			if !ok {
+				continue
+			}
+			vals := make([]float64, len(row))
+			for r := range row {
+				vals[r] = row[r].Time
+			}
+			merged := fit.Merge(vals, cfg.Merge)
+			ps = append(ps, float64(run.NP))
+			ys = append(ys, merged)
+			times[run.NP] = merged
+		}
+		if len(ps) < 2 {
+			continue
+		}
+		model, err := fit.FitLogLog(ps, ys)
+		if err != nil {
+			continue
+		}
+		share := sum(largest.PPG.TimeSeries(key)) / total
+		if model.B <= cfg.SlopeThd || share < cfg.MinShare {
+			continue
+		}
+		out = append(out, NonScalable{VertexKey: key, Vertex: v, Model: model, Share: share, Times: times})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].Model.B*out[i].Share, out[j].Model.B*out[j].Share
+		if si != sj {
+			return si > sj
+		}
+		return out[i].VertexKey < out[j].VertexKey
+	})
+	if len(out) > cfg.TopK {
+		out = out[:cfg.TopK]
+	}
+	return out
+}
+
+// findAbnormal compares each vertex's time across ranks at one scale
+// (paper §IV-A, Fig. 7(b)).
+func findAbnormal(run ScaleRun, cfg Config) []Abnormal {
+	total := run.PPG.TotalTime()
+	if total <= 0 {
+		return nil
+	}
+	var out []Abnormal
+	for key := range run.PPG.Perf {
+		v := run.PPG.PSG.VertexByKey(key)
+		if v == nil || v.Kind == psg.KindRoot {
+			continue
+		}
+		vals := run.PPG.TimeSeries(key)
+		share := sum(vals) / total
+		if share < cfg.MinShare {
+			continue
+		}
+		med := fit.Median(vals)
+		mx := fit.Max(vals)
+		var ratio float64
+		switch {
+		case med > 0:
+			ratio = mx / med
+		case mx > 0:
+			ratio = math.Inf(1) // executed by a strict minority of ranks
+		default:
+			continue
+		}
+		if ratio <= cfg.AbnormThd {
+			continue
+		}
+		var outliers []int
+		for r, t := range vals {
+			if (med > 0 && t > cfg.AbnormThd*med) || (med == 0 && t > 0) {
+				outliers = append(outliers, r)
+			}
+		}
+		out = append(out, Abnormal{VertexKey: key, Vertex: v, Ratio: ratio, OutlierRanks: outliers, Share: share})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := score(out[i].Ratio)*out[i].Share, score(out[j].Ratio)*out[j].Share
+		if si != sj {
+			return si > sj
+		}
+		return out[i].VertexKey < out[j].VertexKey
+	})
+	return out
+}
+
+func score(ratio float64) float64 {
+	if math.IsInf(ratio, 1) {
+		return 100
+	}
+	return ratio
+}
+
+func sum(vals []float64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}

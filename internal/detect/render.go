@@ -1,0 +1,71 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"scalana/internal/minilang"
+)
+
+// Render formats the report for terminal output; prog (optional) supplies
+// source snippets for the viewer.
+func (rep *Report) Render(prog *minilang.Program) string {
+	var sb strings.Builder
+	line := func(l int) string {
+		if prog == nil {
+			return ""
+		}
+		s := strings.TrimSpace(prog.SourceLine(l))
+		if s == "" {
+			return ""
+		}
+		return "  | " + s
+	}
+
+	fmt.Fprintf(&sb, "=== ScalAna scaling loss report (largest scale np=%d) ===\n\n", rep.NP)
+	fmt.Fprintf(&sb, "non-scalable vertices (%d):\n", len(rep.NonScalable))
+	for _, ns := range rep.NonScalable {
+		fmt.Fprintf(&sb, "  %-40s slope=%+.2f share=%4.1f%%  %s:%d%s\n",
+			ns.VertexKey, ns.Model.B, 100*ns.Share, ns.Vertex.Pos.File, ns.Vertex.Pos.Line, line(ns.Vertex.Pos.Line))
+	}
+	fmt.Fprintf(&sb, "\nabnormal vertices (%d):\n", len(rep.Abnormal))
+	for _, ab := range rep.Abnormal {
+		ratio := fmt.Sprintf("%.2f", ab.Ratio)
+		if math.IsInf(ab.Ratio, 1) {
+			ratio = "inf"
+		}
+		fmt.Fprintf(&sb, "  %-40s ratio=%-6s outliers=%v  %s:%d%s\n",
+			ab.VertexKey, ratio, ab.OutlierRanks, ab.Vertex.Pos.File, ab.Vertex.Pos.Line, line(ab.Vertex.Pos.Line))
+	}
+	fmt.Fprintf(&sb, "\nbacktracking paths (%d):\n", len(rep.Paths))
+	for i, p := range rep.Paths {
+		fmt.Fprintf(&sb, "  path %d:\n", i+1)
+		for _, s := range p.Steps {
+			extra := ""
+			if s.Via == ViaComm {
+				extra = fmt.Sprintf(" (waited %s)", fmtSec(s.Wait))
+			}
+			fmt.Fprintf(&sb, "    %-7s rank %-4d %-6s %s:%d%s%s\n",
+				s.Via, s.Rank, s.Vertex.Kind, s.Vertex.Pos.File, s.Vertex.Pos.Line, extra, line(s.Vertex.Pos.Line))
+		}
+	}
+	fmt.Fprintf(&sb, "\nroot causes (ranked):\n")
+	for i, c := range rep.Causes {
+		fmt.Fprintf(&sb, "  %d. %s %s at %s:%d  score=%.3f share=%.1f%% imbalance=%.1f paths=%d%s\n",
+			i+1, c.Vertex.Kind, c.Vertex.Name, c.Vertex.Pos.File, c.Vertex.Pos.Line,
+			c.Score, 100*c.Share, c.Imbalance, c.Paths, line(c.Vertex.Pos.Line))
+	}
+	return sb.String()
+}
+
+func fmtSec(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.3fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.1fus", s*1e6)
+	}
+}

@@ -1,0 +1,167 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (§VI) plus the illustrative figures (§II-III), using the
+// full pipeline: MiniMP apps on the simulator, the three tools, PPG
+// assembly, and detection. Each experiment renders a textual table or
+// chart and returns machine-readable values for the bench harness.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scalana/internal/detect"
+	"scalana/internal/prof"
+	"scalana/internal/psg"
+
+	scalana "scalana"
+)
+
+// Result is one regenerated experiment.
+type Result struct {
+	ID    string
+	Title string
+	Text  string
+	// Values holds headline numbers keyed by metric name, for benches and
+	// tests (e.g. "overhead_scalana_pct").
+	Values map[string]float64
+}
+
+func newResult(id, title string) *Result {
+	return &Result{ID: id, Title: title, Values: map[string]float64{}}
+}
+
+func (r *Result) addf(format string, args ...any) {
+	r.Text += fmt.Sprintf(format, args...)
+}
+
+// Experiment is a registered experiment generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Result, error)
+}
+
+var experiments []Experiment
+
+func registerExp(id, title string, run func() (*Result, error)) {
+	experiments = append(experiments, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every registered experiment in paper order.
+func All() []Experiment {
+	out := append([]Experiment(nil), experiments...)
+	sort.SliceStable(out, func(i, j int) bool { return orderOf(out[i].ID) < orderOf(out[j].ID) })
+	return out
+}
+
+// Get returns the experiment with the given id, or nil.
+func Get(id string) *Experiment {
+	for i := range experiments {
+		if experiments[i].ID == id {
+			return &experiments[i]
+		}
+	}
+	return nil
+}
+
+func orderOf(id string) int {
+	order := []string{"table1", "fig2", "fig4", "fig6", "fig7", "fig8",
+		"table2", "table3", "fig10", "fig11", "table4",
+		"fig12", "fig13", "fig14", "fig15", "fig16"}
+	for i, x := range order {
+		if x == id {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// ---- shared helpers ----
+
+// sweepProf is the profiling configuration used for detection-quality
+// experiments: a higher sampling rate than the paper's 200 Hz keeps the
+// short simulated runs statistically stable (overhead experiments use the
+// paper's 200 Hz instead).
+func sweepProf() prof.Config {
+	cfg := prof.DefaultConfig()
+	cfg.SampleHz = 5000
+	return cfg
+}
+
+// runTools executes app at np with no tool and with each of the three
+// tools, returning overhead percentages and storage bytes.
+func runTools(app *scalana.App, np int) (ovh map[string]float64, storage map[string]int64, err error) {
+	base, err := scalana.Run(scalana.RunConfig{App: app, NP: np})
+	if err != nil {
+		return nil, nil, err
+	}
+	ovh = map[string]float64{}
+	storage = map[string]int64{}
+	for _, tc := range []struct {
+		name string
+		tool scalana.Tool
+	}{
+		{"scalana", scalana.ToolScalAna},
+		{"hpctk", scalana.ToolCallPath},
+		{"tracer", scalana.ToolTracer},
+	} {
+		out, err := scalana.Run(scalana.RunConfig{App: app, NP: np, Tool: tc.tool})
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s with %s: %w", app.Name, tc.name, err)
+		}
+		ovh[tc.name] = 100 * (out.Result.Elapsed - base.Result.Elapsed) / base.Result.Elapsed
+		storage[tc.name] = out.StorageBytes
+	}
+	return ovh, storage, nil
+}
+
+// scalesFor returns the np sweep for an app, honoring its minimum.
+func scalesFor(app *scalana.App, nps []int) []int {
+	var out []int
+	for _, np := range nps {
+		if np >= app.MinNP {
+			out = append(out, np)
+		}
+	}
+	return out
+}
+
+// describeVertex renders a vertex with its source position and snippet.
+func describeVertex(v *psg.Vertex, app *scalana.App) string {
+	prog, err := app.Parse()
+	line := ""
+	if err == nil {
+		line = strings.TrimSpace(prog.SourceLine(v.Pos.Line))
+	}
+	return fmt.Sprintf("%s %s at %s:%d  | %s", v.Kind, v.Name, v.Pos.File, v.Pos.Line, line)
+}
+
+// renderPaths renders backtracking paths with source lines.
+func renderPaths(rep *detect.Report, app *scalana.App, maxPaths int) string {
+	var sb strings.Builder
+	prog, _ := app.Parse()
+	for i, p := range rep.Paths {
+		if i >= maxPaths {
+			fmt.Fprintf(&sb, "  ... and %d more paths\n", len(rep.Paths)-maxPaths)
+			break
+		}
+		fmt.Fprintf(&sb, "  path %d:\n", i+1)
+		for _, s := range p.Steps {
+			snippet := ""
+			if prog != nil {
+				snippet = strings.TrimSpace(prog.SourceLine(s.Vertex.Pos.Line))
+			}
+			extra := ""
+			if s.Via == detect.ViaComm {
+				extra = fmt.Sprintf(" (waited %.3fms)", s.Wait*1e3)
+			}
+			fmt.Fprintf(&sb, "    %-7s rank %-3d %-6s %s:%d%s  | %s\n",
+				s.Via, s.Rank, s.Vertex.Kind, s.Vertex.Pos.File, s.Vertex.Pos.Line, extra, snippet)
+		}
+		if p.Cause != nil {
+			fmt.Fprintf(&sb, "    => cause: %s\n", describeVertex(p.Cause.Vertex, app))
+		}
+	}
+	return sb.String()
+}

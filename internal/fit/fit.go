@@ -1,0 +1,269 @@
+// Package fit provides the statistical machinery behind ScalAna's
+// problematic-vertex detection: log-log regression for non-scalable vertex
+// detection (paper §IV-A cites Barnes et al.'s regression-based scalability
+// prediction), merge strategies for aggregating per-rank metrics, 1-D
+// k-means clustering, and basic descriptive statistics.
+package fit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LogLog is a fitted power-law model y = exp(a) * p^b, obtained by least
+// squares on (log p, log y).
+type LogLog struct {
+	A float64 // intercept in log space
+	B float64 // slope: the "changing rate" used to rank vertices
+	// R2 is the coefficient of determination of the fit in log space.
+	R2 float64
+}
+
+// Eval evaluates the model at p.
+func (m LogLog) Eval(p float64) float64 { return math.Exp(m.A) * math.Pow(p, m.B) }
+
+func (m LogLog) String() string {
+	return fmt.Sprintf("y = %.3g * p^%.3f (R2=%.3f)", math.Exp(m.A), m.B, m.R2)
+}
+
+// FitLogLog fits a log-log model to (ps, ys). Non-positive samples are
+// clamped to a tiny epsilon so vertices that vanish at some scale do not
+// poison the fit. It returns an error when fewer than two distinct scales
+// are present.
+func FitLogLog(ps, ys []float64) (LogLog, error) {
+	if len(ps) != len(ys) {
+		return LogLog{}, fmt.Errorf("fit: length mismatch %d vs %d", len(ps), len(ys))
+	}
+	if len(ps) < 2 {
+		return LogLog{}, fmt.Errorf("fit: need at least 2 points, got %d", len(ps))
+	}
+	const eps = 1e-12
+	n := float64(len(ps))
+	var sx, sy, sxx, sxy float64
+	for i := range ps {
+		if ps[i] <= 0 {
+			return LogLog{}, fmt.Errorf("fit: non-positive scale %g", ps[i])
+		}
+		x := math.Log(ps[i])
+		y := math.Log(math.Max(ys[i], eps))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LogLog{}, fmt.Errorf("fit: all scales identical")
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+
+	// R² in log space.
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for i := range ps {
+		x := math.Log(ps[i])
+		y := math.Log(math.Max(ys[i], eps))
+		pred := a + b*x
+		ssTot += (y - meanY) * (y - meanY)
+		ssRes += (y - pred) * (y - pred)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LogLog{A: a, B: b, R2: r2}, nil
+}
+
+// MergeStrategy aggregates one vertex's per-rank metric values into a
+// single number per scale (paper §IV-A discusses single-process, mean,
+// median, and clustering strategies; the implementation "tests all
+// strategies").
+type MergeStrategy int
+
+// Merge strategies.
+const (
+	MergeMedian MergeStrategy = iota
+	MergeMean
+	MergeMax
+	MergeSingle  // rank 0 only
+	MergeCluster // mean of the largest k-means cluster
+)
+
+func (s MergeStrategy) String() string {
+	switch s {
+	case MergeMedian:
+		return "median"
+	case MergeMean:
+		return "mean"
+	case MergeMax:
+		return "max"
+	case MergeSingle:
+		return "single"
+	case MergeCluster:
+		return "cluster"
+	}
+	return "unknown"
+}
+
+// Merge applies the strategy to values (one entry per rank).
+func Merge(values []float64, s MergeStrategy) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	switch s {
+	case MergeMean:
+		return Mean(values)
+	case MergeMax:
+		return Max(values)
+	case MergeSingle:
+		return values[0]
+	case MergeCluster:
+		centers, assign := KMeans1D(values, 2, 32)
+		if len(centers) < 2 {
+			return Mean(values)
+		}
+		// Use the cluster holding the majority of ranks.
+		count := [2]int{}
+		for _, a := range assign {
+			count[a]++
+		}
+		major := 0
+		if count[1] > count[0] {
+			major = 1
+		}
+		var sum float64
+		n := 0
+		for i, a := range assign {
+			if a == major {
+				sum += values[i]
+				n++
+			}
+		}
+		return sum / float64(n)
+	default:
+		return Median(values)
+	}
+}
+
+// Mean returns the arithmetic mean.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// Median returns the median (average of middle two for even length).
+func Median(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), values...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Variance returns the population variance.
+func Variance(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	m := Mean(values)
+	var s float64
+	for _, v := range values {
+		s += (v - m) * (v - m)
+	}
+	return s / float64(len(values))
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(values []float64) float64 { return math.Sqrt(Variance(values)) }
+
+// Max returns the maximum value (0 for empty input).
+func Max(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	mx := values[0]
+	for _, v := range values[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Min returns the minimum value (0 for empty input).
+func Min(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	mn := values[0]
+	for _, v := range values[1:] {
+		if v < mn {
+			mn = v
+		}
+	}
+	return mn
+}
+
+// KMeans1D clusters values into k clusters with at most iters Lloyd
+// iterations, using deterministic quantile initialization. It returns the
+// cluster centers (ascending) and each value's cluster assignment.
+func KMeans1D(values []float64, k, iters int) ([]float64, []int) {
+	n := len(values)
+	if n == 0 || k <= 0 {
+		return nil, nil
+	}
+	if k > n {
+		k = n
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	centers := make([]float64, k)
+	for i := 0; i < k; i++ {
+		q := (float64(i) + 0.5) / float64(k)
+		centers[i] = sorted[int(q*float64(n-1))]
+	}
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, v := range values {
+			best, bestD := 0, math.Abs(v-centers[0])
+			for c := 1; c < k; c++ {
+				if d := math.Abs(v - centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, v := range values {
+			sums[assign[i]] += v
+			counts[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				centers[c] = sums[c] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return centers, assign
+}

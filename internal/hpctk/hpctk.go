@@ -1,0 +1,176 @@
+// Package hpctk implements the profiling-based baseline the paper compares
+// against (HPCToolkit): pure call-path sampling. It attributes samples to
+// full calling-context paths and reports the hottest contexts — but it
+// records no inter-process dependence, which is exactly why the paper's
+// case studies find it needs "significant human efforts" to get from the
+// hot spots it reports to the root cause.
+package hpctk
+
+import (
+	"sort"
+	"strings"
+
+	"scalana/internal/machine"
+	"scalana/internal/mpisim"
+	"scalana/internal/psg"
+)
+
+// Config controls the call-path profiler.
+type Config struct {
+	// SampleHz is the timer frequency (the paper pins both tools at 200 Hz).
+	SampleHz float64
+	// SampleCost is the virtual cost of one interrupt + stack unwind.
+	// Unwinding a full call path costs a bit more than ScalAna's
+	// graph-pointer lookup.
+	SampleCost float64
+	// TraceLine enables hpctraceviewer-style per-sample trace lines,
+	// which is where most of HPCToolkit's storage goes.
+	TraceLine bool
+}
+
+// DefaultConfig mirrors hpcrun defaults with tracing enabled.
+func DefaultConfig() Config {
+	return Config{SampleHz: 200, SampleCost: 2.2e-6, TraceLine: true}
+}
+
+// CtxData is the metric payload of one calling-context-tree node.
+type CtxData struct {
+	Samples int64
+	Time    float64
+	PMU     machine.Vec
+}
+
+// RankProfile is one rank's calling-context-tree profile.
+type RankProfile struct {
+	Rank int
+	// Ctx maps a calling-context path (joined vertex keys) to metrics.
+	Ctx map[string]*CtxData
+	// TraceSamples counts hpctrace records (one per sample).
+	TraceSamples int64
+}
+
+// StorageBytes reports the measurement-file size: a per-rank file header
+// (load map, metric descriptors — hpcrun files carry several KB of
+// metadata each), CCT nodes with a metric vector each, plus the
+// per-sample trace line.
+func (rp *RankProfile) StorageBytes() int64 {
+	const fileHeader = 6 << 10                                // load map + metric table per rank
+	const cctNode = 8 + 8 + 8*int64(machine.NumCounters) + 32 // ids, parent link, metrics, frame info
+	const traceRec = 12                                       // timestamp + cct id
+	var pathBytes int64
+	for path := range rp.Ctx {
+		pathBytes += int64(len(path)) / 4 // dictionary-compressed frames
+	}
+	s := int64(len(rp.Ctx))*cctNode + pathBytes
+	if rp.TraceSamples > 0 {
+		s += rp.TraceSamples * traceRec
+	}
+	return fileHeader + s
+}
+
+// Profiler is the per-rank hook implementing mpisim.Hook.
+type Profiler struct {
+	cfg        Config
+	profile    *RankProfile
+	period     float64
+	pendingPMU machine.Vec
+}
+
+// New creates the call-path profiler for one rank.
+func New(cfg Config, rank int) *Profiler {
+	if cfg.SampleHz <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Profiler{
+		cfg:     cfg,
+		profile: &RankProfile{Rank: rank, Ctx: map[string]*CtxData{}},
+		period:  1 / cfg.SampleHz,
+	}
+}
+
+// Profile returns the collected profile.
+func (pr *Profiler) Profile() *RankProfile { return pr.profile }
+
+// callPath renders the calling context of ctx by walking vertex parents —
+// the moral equivalent of unwinding the stack at an interrupt.
+func callPath(ctx any) string {
+	v, ok := ctx.(*psg.Vertex)
+	if !ok || v == nil {
+		return "root"
+	}
+	var parts []string
+	for _, x := range v.Path() {
+		parts = append(parts, x.Key)
+	}
+	return strings.Join(parts, ";")
+}
+
+// Advance implements timer sampling against the calling context.
+func (pr *Profiler) Advance(p *mpisim.Proc, from, to float64, kind mpisim.AdvanceKind, ctx any, pmu machine.Vec) float64 {
+	pr.pendingPMU.Add(pmu)
+	crossings := int64(to/pr.period) - int64(from/pr.period)
+	if crossings <= 0 {
+		return 0
+	}
+	path := callPath(ctx)
+	cd := pr.profile.Ctx[path]
+	if cd == nil {
+		cd = &CtxData{}
+		pr.profile.Ctx[path] = cd
+	}
+	cd.Samples += crossings
+	cd.Time += float64(crossings) * pr.period
+	cd.PMU.Add(pr.pendingPMU)
+	pr.pendingPMU = machine.Vec{}
+	if pr.cfg.TraceLine {
+		pr.profile.TraceSamples += crossings
+	}
+	if kind == mpisim.AdvPerturb {
+		return 0
+	}
+	return float64(crossings) * pr.cfg.SampleCost
+}
+
+// MPIEvent is a no-op: a pure sampling profiler does not interpose on MPI.
+func (pr *Profiler) MPIEvent(p *mpisim.Proc, ev *mpisim.Event) float64 { return 0 }
+
+var _ mpisim.Hook = (*Profiler)(nil)
+
+// HotPath is one entry of the profiler's report.
+type HotPath struct {
+	Path    string
+	Time    float64
+	Samples int64
+}
+
+// TopPaths aggregates profiles across ranks and returns the hottest n
+// calling contexts — the flat "here are your bottlenecks, good luck"
+// output that the paper contrasts with root-cause paths.
+func TopPaths(profiles []*RankProfile, n int) []HotPath {
+	agg := map[string]*HotPath{}
+	for _, rp := range profiles {
+		for path, cd := range rp.Ctx {
+			hp := agg[path]
+			if hp == nil {
+				hp = &HotPath{Path: path}
+				agg[path] = hp
+			}
+			hp.Time += cd.Time
+			hp.Samples += cd.Samples
+		}
+	}
+	out := make([]HotPath, 0, len(agg))
+	for _, hp := range agg {
+		out = append(out, *hp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Path < out[j].Path
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package hpctk
+
+import (
+	"strings"
+	"testing"
+
+	"scalana/internal/machine"
+	"scalana/internal/minilang"
+	"scalana/internal/mpisim"
+	"scalana/internal/psg"
+)
+
+func fakeProc(t *testing.T) *mpisim.Proc {
+	t.Helper()
+	return mpisim.NewWorld(mpisim.Config{NP: 1}).Proc(0)
+}
+
+func testVertex(t *testing.T) *psg.Vertex {
+	t.Helper()
+	prog := minilang.MustParse("t.mp", `
+func main() {
+	for (var i = 0; i < 2; i = i + 1) {
+		compute(1e3, 10, 10, 64);
+	}
+	mpi_barrier();
+}`)
+	g := psg.MustBuild(prog)
+	for _, v := range g.Vertices {
+		if v.Kind == psg.KindComp && v.Parent.Kind == psg.KindLoop {
+			return v
+		}
+	}
+	t.Fatal("no nested comp vertex")
+	return nil
+}
+
+func TestCallPathAttribution(t *testing.T) {
+	v := testVertex(t)
+	pr := New(DefaultConfig(), 0)
+	p := fakeProc(t)
+	pr.Advance(p, 0, 0.1, mpisim.AdvCompute, v, machine.Vec{50, 100, 25, 0, 40})
+	prof := pr.Profile()
+	if len(prof.Ctx) != 1 {
+		t.Fatalf("contexts = %d, want 1", len(prof.Ctx))
+	}
+	for path, cd := range prof.Ctx {
+		// The path includes the full vertex chain: root > loop > comp.
+		if !strings.Contains(path, ";") {
+			t.Errorf("path %q has no nesting", path)
+		}
+		if cd.Samples != 20 { // 0.1s at 200Hz
+			t.Errorf("samples = %d, want 20", cd.Samples)
+		}
+		if cd.PMU[0] != 50 {
+			t.Errorf("PMU = %v", cd.PMU)
+		}
+	}
+	if prof.TraceSamples != 20 {
+		t.Errorf("trace samples = %d", prof.TraceSamples)
+	}
+}
+
+func TestNilContextAttribution(t *testing.T) {
+	pr := New(DefaultConfig(), 0)
+	p := fakeProc(t)
+	pr.Advance(p, 0, 0.01, mpisim.AdvCompute, nil, machine.Vec{})
+	if _, ok := pr.Profile().Ctx["root"]; !ok {
+		t.Errorf("nil ctx should attribute to root: %v", pr.Profile().Ctx)
+	}
+}
+
+func TestMPIEventIsNoOp(t *testing.T) {
+	pr := New(DefaultConfig(), 0)
+	p := fakeProc(t)
+	if owed := pr.MPIEvent(p, &mpisim.Event{Op: "mpi_recv"}); owed != 0 {
+		t.Error("pure sampler should not charge MPI events")
+	}
+	if len(pr.Profile().Ctx) != 0 {
+		t.Error("pure sampler should not record MPI events")
+	}
+}
+
+func TestSamplerCost(t *testing.T) {
+	pr := New(DefaultConfig(), 0)
+	p := fakeProc(t)
+	owed := pr.Advance(p, 0, 0.1, mpisim.AdvCompute, nil, machine.Vec{})
+	if owed != 20*DefaultConfig().SampleCost {
+		t.Errorf("owed = %g", owed)
+	}
+	if owed2 := pr.Advance(p, 0.1, 0.2, mpisim.AdvPerturb, nil, machine.Vec{}); owed2 != 0 {
+		t.Error("perturb advances must not be charged")
+	}
+}
+
+func TestTopPaths(t *testing.T) {
+	p1 := &RankProfile{Rank: 0, Ctx: map[string]*CtxData{
+		"a;b": {Samples: 10, Time: 1.0},
+		"a;c": {Samples: 5, Time: 0.5},
+	}}
+	p2 := &RankProfile{Rank: 1, Ctx: map[string]*CtxData{
+		"a;b": {Samples: 10, Time: 1.0},
+		"a;d": {Samples: 1, Time: 0.1},
+	}}
+	top := TopPaths([]*RankProfile{p1, p2}, 2)
+	if len(top) != 2 {
+		t.Fatalf("%d paths", len(top))
+	}
+	if top[0].Path != "a;b" || top[0].Time != 2.0 || top[0].Samples != 20 {
+		t.Errorf("top = %+v", top[0])
+	}
+	if top[1].Path != "a;c" {
+		t.Errorf("second = %+v", top[1])
+	}
+}
+
+func TestStorageGrowsWithContextsAndSamples(t *testing.T) {
+	rp := &RankProfile{Rank: 0, Ctx: map[string]*CtxData{}}
+	empty := rp.StorageBytes()
+	rp.Ctx["root;x;y"] = &CtxData{Samples: 100}
+	rp.TraceSamples = 100
+	if rp.StorageBytes() <= empty {
+		t.Error("storage should grow")
+	}
+	noTrace := &RankProfile{Rank: 0, Ctx: map[string]*CtxData{"a": {}}}
+	withTrace := &RankProfile{Rank: 0, Ctx: map[string]*CtxData{"a": {}}, TraceSamples: 1000}
+	if withTrace.StorageBytes() <= noTrace.StorageBytes() {
+		t.Error("trace lines should add storage")
+	}
+}

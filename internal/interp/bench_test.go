@@ -1,0 +1,56 @@
+package interp
+
+import (
+	"testing"
+
+	"scalana/internal/minilang"
+	"scalana/internal/mpisim"
+	"scalana/internal/psg"
+)
+
+// BenchmarkInterpreterLoop measures statement-execution throughput.
+func BenchmarkInterpreterLoop(b *testing.B) {
+	prog := minilang.MustParse("bench.mp", `
+func main() {
+	var total = 0;
+	for (var i = 0; i < 10000; i = i + 1) {
+		total = total + i * 2 - 1;
+	}
+}`)
+	g := psg.MustBuild(prog)
+	r := NewRunner(prog, g)
+	r.GlueIns = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(mpisim.Config{NP: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreterMPIRing measures a communication-heavy run end to
+// end (4 ranks, nonblocking ring).
+func BenchmarkInterpreterMPIRing(b *testing.B) {
+	prog := minilang.MustParse("bench.mp", `
+func main() {
+	var rank = mpi_rank();
+	var np = mpi_size();
+	var next = (rank + 1) % np;
+	var prev = (rank - 1 + np) % np;
+	for (var it = 0; it < 50; it = it + 1) {
+		var r1 = mpi_irecv(prev, 1, 4096);
+		mpi_isend(next, 1, 4096);
+		compute(1e5, 1e3, 1e3, 8192);
+		mpi_waitall();
+	}
+	mpi_allreduce(8);
+}`)
+	g := psg.MustBuild(prog)
+	r := NewRunner(prog, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(mpisim.Config{NP: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"scalana/internal/minilang"
+	"scalana/internal/mpisim"
+	"scalana/internal/psg"
+)
+
+func runSource(t *testing.T, src string, np int) (mpisim.RunResult, *psg.Graph) {
+	t.Helper()
+	prog, err := minilang.Parse("test.mp", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g, err := psg.Build(prog, psg.DefaultOptions())
+	if err != nil {
+		t.Fatalf("psg: %v", err)
+	}
+	r := NewRunner(prog, g)
+	res, err := r.Run(mpisim.Config{NP: np})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res, g
+}
+
+func TestSequentialArithmetic(t *testing.T) {
+	var sb strings.Builder
+	prog := minilang.MustParse("test.mp", `
+func main() {
+	var x = 3;
+	var y = x * 4 + 2;
+	var z = pow(2, 10);
+	print("y=", y, "z=", z, "mod=", 17 % 5);
+}
+`)
+	g := psg.MustBuild(prog)
+	r := NewRunner(prog, g)
+	r.Stdout = &sb
+	if _, err := r.Run(mpisim.Config{NP: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "[rank 0] y= 14 z= 1024 mod= 2\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	res, _ := runSource(t, `
+func main() {
+	var rank = mpi_rank();
+	if (rank == 0) {
+		mpi_send(1, 7, 1024);
+		mpi_recv(1, 8, 1024);
+	} else {
+		mpi_recv(0, 7, 1024);
+		mpi_send(0, 8, 1024);
+	}
+}
+`, 2)
+	if res.Elapsed <= 0 {
+		t.Fatalf("elapsed = %g, want > 0", res.Elapsed)
+	}
+}
+
+func TestComputeAdvancesClockProportionally(t *testing.T) {
+	small, _ := runSource(t, `
+func main() {
+	compute(1e6, 1e5, 1e4, 1024);
+}
+`, 1)
+	big, _ := runSource(t, `
+func main() {
+	compute(1e8, 1e7, 1e6, 1024);
+}
+`, 1)
+	ratio := big.Elapsed / small.Elapsed
+	if ratio < 50 || ratio > 200 {
+		t.Errorf("100x flops should be ~100x time, got ratio %.2f (small=%g big=%g)",
+			ratio, small.Elapsed, big.Elapsed)
+	}
+}
+
+func TestCollectiveSynchronizesClocks(t *testing.T) {
+	// Rank 3 computes 10x longer; after the barrier all clocks must be >=
+	// the straggler's arrival.
+	res, _ := runSource(t, `
+func main() {
+	var rank = mpi_rank();
+	if (rank == 3) {
+		compute(2e8, 1e6, 1e6, 4096);
+	} else {
+		compute(2e6, 1e4, 1e4, 4096);
+	}
+	mpi_barrier();
+}
+`, 4)
+	minClock := math.Inf(1)
+	for _, c := range res.Clocks {
+		minClock = math.Min(minClock, c)
+	}
+	if res.Elapsed-minClock > res.Elapsed*0.01 {
+		t.Errorf("barrier should equalize clocks: min %g max %g", minClock, res.Elapsed)
+	}
+}
+
+func TestNonBlockingHaloExchange(t *testing.T) {
+	res, _ := runSource(t, `
+func main() {
+	var rank = mpi_rank();
+	var np = mpi_size();
+	var left = (rank - 1 + np) % np;
+	var right = (rank + 1) % np;
+	for (var it = 0; it < 5; it = it + 1) {
+		var r1 = mpi_irecv(left, 1, 8192);
+		var r2 = mpi_irecv(right, 2, 8192);
+		mpi_isend(right, 1, 8192);
+		mpi_isend(left, 2, 8192);
+		compute(1e6, 2e5, 1e5, 65536);
+		mpi_waitall();
+	}
+	mpi_allreduce(8);
+}
+`, 8)
+	if res.Elapsed <= 0 {
+		t.Fatal("no progress")
+	}
+	for r, c := range res.Clocks {
+		if c <= 0 {
+			t.Errorf("rank %d clock = %g", r, c)
+		}
+	}
+}
+
+func TestRecvAnyReturnsSource(t *testing.T) {
+	var sb strings.Builder
+	prog := minilang.MustParse("test.mp", `
+func main() {
+	var rank = mpi_rank();
+	if (rank == 0) {
+		var src = mpi_recv_any(5, 64);
+		print("got from", src);
+	} else {
+		mpi_send(0, 5, 64);
+	}
+}
+`)
+	g := psg.MustBuild(prog)
+	r := NewRunner(prog, g)
+	r.Stdout = &sb
+	if _, err := r.Run(mpisim.Config{NP: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if want := "[rank 0] got from 1\n"; sb.String() != want {
+		t.Errorf("output = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestUserFunctionsAndRecursion(t *testing.T) {
+	var sb strings.Builder
+	prog := minilang.MustParse("test.mp", `
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() {
+	print("fib10=", fib(10));
+}
+`)
+	g := psg.MustBuild(prog)
+	r := NewRunner(prog, g)
+	r.Stdout = &sb
+	if _, err := r.Run(mpisim.Config{NP: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if want := "[rank 0] fib10= 55\n"; sb.String() != want {
+		t.Errorf("output = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestIndirectCallResolvesAndRuns(t *testing.T) {
+	var sb strings.Builder
+	prog := minilang.MustParse("test.mp", `
+func double(x) { return x * 2; }
+func triple(x) { return x * 3; }
+func main() {
+	var f = &double;
+	if (mpi_rank() % 2 == 1) {
+		f = &triple;
+	}
+	print("r=", f(7));
+}
+`)
+	g := psg.MustBuild(prog)
+	r := NewRunner(prog, g)
+	r.Stdout = &sb
+	var observed []string
+	r.OnIndirect = func(rank int, inst *psg.Instance, site minilang.NodeID, target string) {
+		observed = append(observed, target)
+	}
+	if _, err := r.Run(mpisim.Config{NP: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if want := "[rank 0] r= 14\n"; sb.String() != want {
+		t.Errorf("output = %q, want %q", sb.String(), want)
+	}
+	if len(observed) != 1 || observed[0] != "double" {
+		t.Errorf("indirect observations = %v, want [double]", observed)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Errorf("graph invariants after refinement: %v", err)
+	}
+}
+
+func TestArraysAndWhile(t *testing.T) {
+	var sb strings.Builder
+	prog := minilang.MustParse("test.mp", `
+func main() {
+	var a = alloc(10);
+	var i = 0;
+	while (i < 10) {
+		a[i] = i * i;
+		i = i + 1;
+	}
+	var sum = 0;
+	for (var j = 0; j < len(a); j = j + 1) {
+		sum = sum + a[j];
+	}
+	print("sum=", sum);
+}
+`)
+	g := psg.MustBuild(prog)
+	r := NewRunner(prog, g)
+	r.Stdout = &sb
+	if _, err := r.Run(mpisim.Config{NP: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if want := "[rank 0] sum= 285\n"; sb.String() != want {
+		t.Errorf("output = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	src := `
+func main() {
+	var rank = mpi_rank();
+	var np = mpi_size();
+	for (var it = 0; it < 3; it = it + 1) {
+		compute(1e6 * (rank + 1), 1e4, 1e4, 32768);
+		mpi_sendrecv((rank + 1) % np, 1, 4096, (rank - 1 + np) % np, 1, 4096);
+		mpi_allreduce(8);
+	}
+}
+`
+	a, _ := runSource(t, src, 6)
+	b, _ := runSource(t, src, 6)
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("non-deterministic elapsed: %g vs %g", a.Elapsed, b.Elapsed)
+	}
+	for r := range a.Clocks {
+		if a.Clocks[r] != b.Clocks[r] {
+			t.Errorf("rank %d clock differs: %g vs %g", r, a.Clocks[r], b.Clocks[r])
+		}
+	}
+}
+
+func TestRuntimeErrorPropagatesAsError(t *testing.T) {
+	prog := minilang.MustParse("test.mp", `
+func main() {
+	var a = alloc(2);
+	a[5] = 1;
+}
+`)
+	g := psg.MustBuild(prog)
+	r := NewRunner(prog, g)
+	if _, err := r.Run(mpisim.Config{NP: 2}); err == nil {
+		t.Fatal("expected out-of-range error, got nil")
+	}
+}

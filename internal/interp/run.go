@@ -1,0 +1,12 @@
+package interp
+
+import (
+	"scalana/internal/mpisim"
+)
+
+// Run is the convenience entry point: it creates a world from cfg and
+// executes the runner's program on every rank.
+func (r *Runner) Run(cfg mpisim.Config) (mpisim.RunResult, error) {
+	world := mpisim.NewWorld(cfg)
+	return world.Run(r.Execute)
+}

@@ -1,0 +1,40 @@
+package minilang
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchProgram() string {
+	var sb strings.Builder
+	sb.WriteString("func main() {\n\tvar total = 0;\n")
+	for i := 0; i < 60; i++ {
+		sb.WriteString("\tfor (var i = 0; i < 10; i = i + 1) { total = total + i * 2 - 1; }\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// BenchmarkTokenize measures raw lexer throughput.
+func BenchmarkTokenize(b *testing.B) {
+	src := benchProgram()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, errs := Tokenize("bench.mp", src); len(errs) != 0 {
+			b.Fatal(errs)
+		}
+	}
+}
+
+// BenchmarkParse measures the complete front end (lex + parse + check).
+func BenchmarkParse(b *testing.B) {
+	src := benchProgram()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("bench.mp", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package minilang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Lexer turns MiniMP source text into tokens.
+type Lexer struct {
+	file string
+	src  []rune
+	off  int
+	line int
+	col  int
+	errs []error
+}
+
+// NewLexer returns a lexer over src, reporting positions in file.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{file: file, src: []rune(src), line: 1, col: 1}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{File: lx.file, Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() rune {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() rune {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() rune {
+	r := lx.src[lx.off]
+	lx.off++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *Lexer) errorf(p Pos, format string, args ...any) {
+	lx.errs = append(lx.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			lx.advance()
+		case r == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case r == '/' && lx.peek2() == '*':
+			p := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.errorf(p, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() Token {
+	lx.skipSpaceAndComments()
+	p := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: p}
+	}
+	r := lx.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		return lx.lexIdent(p)
+	case unicode.IsDigit(r):
+		return lx.lexNumber(p)
+	case r == '"':
+		return lx.lexString(p)
+	}
+	lx.advance()
+	two := func(next rune, k2, k1 TokKind) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: k2, Pos: p}
+		}
+		return Token{Kind: k1, Pos: p}
+	}
+	switch r {
+	case '(':
+		return Token{Kind: TokLParen, Pos: p}
+	case ')':
+		return Token{Kind: TokRParen, Pos: p}
+	case '{':
+		return Token{Kind: TokLBrace, Pos: p}
+	case '}':
+		return Token{Kind: TokRBrace, Pos: p}
+	case '[':
+		return Token{Kind: TokLBracket, Pos: p}
+	case ']':
+		return Token{Kind: TokRBracket, Pos: p}
+	case ',':
+		return Token{Kind: TokComma, Pos: p}
+	case ';':
+		return Token{Kind: TokSemi, Pos: p}
+	case '+':
+		return Token{Kind: TokPlus, Pos: p}
+	case '-':
+		return Token{Kind: TokMinus, Pos: p}
+	case '*':
+		return Token{Kind: TokStar, Pos: p}
+	case '/':
+		return Token{Kind: TokSlash, Pos: p}
+	case '%':
+		return Token{Kind: TokPercent, Pos: p}
+	case '=':
+		return two('=', TokEq, TokAssign)
+	case '!':
+		return two('=', TokNe, TokNot)
+	case '<':
+		return two('=', TokLe, TokLt)
+	case '>':
+		return two('=', TokGe, TokGt)
+	case '&':
+		return two('&', TokAndAnd, TokAmp)
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: TokOrOr, Pos: p}
+		}
+		lx.errorf(p, "unexpected character %q (did you mean ||?)", r)
+		return lx.Next()
+	}
+	lx.errorf(p, "unexpected character %q", r)
+	return lx.Next()
+}
+
+func (lx *Lexer) lexIdent(p Pos) Token {
+	var sb strings.Builder
+	for lx.off < len(lx.src) {
+		r := lx.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			sb.WriteRune(lx.advance())
+		} else {
+			break
+		}
+	}
+	text := sb.String()
+	if k, ok := keywords[text]; ok {
+		return Token{Kind: k, Text: text, Pos: p}
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: p}
+}
+
+func (lx *Lexer) lexNumber(p Pos) Token {
+	var sb strings.Builder
+	seenDot, seenExp := false, false
+	for lx.off < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case unicode.IsDigit(r):
+			sb.WriteRune(lx.advance())
+		case r == '.' && !seenDot && !seenExp:
+			seenDot = true
+			sb.WriteRune(lx.advance())
+		case (r == 'e' || r == 'E') && !seenExp:
+			seenExp = true
+			sb.WriteRune(lx.advance())
+			if lx.peek() == '+' || lx.peek() == '-' {
+				sb.WriteRune(lx.advance())
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := sb.String()
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		lx.errorf(p, "bad number literal %q: %v", text, err)
+	}
+	return Token{Kind: TokNumber, Text: text, Num: v, Pos: p}
+}
+
+func (lx *Lexer) lexString(p Pos) Token {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for lx.off < len(lx.src) {
+		r := lx.advance()
+		if r == '"' {
+			return Token{Kind: TokString, Text: sb.String(), Pos: p}
+		}
+		if r == '\\' && lx.off < len(lx.src) {
+			e := lx.advance()
+			switch e {
+			case 'n':
+				sb.WriteRune('\n')
+			case 't':
+				sb.WriteRune('\t')
+			case '"':
+				sb.WriteRune('"')
+			case '\\':
+				sb.WriteRune('\\')
+			default:
+				lx.errorf(p, "unknown escape \\%c", e)
+			}
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	lx.errorf(p, "unterminated string literal")
+	return Token{Kind: TokString, Text: sb.String(), Pos: p}
+}
+
+// Tokenize scans the whole input and returns all tokens up to and
+// including EOF, plus any lexical errors.
+func Tokenize(file, src string) ([]Token, []error) {
+	lx := NewLexer(file, src)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, lx.errs
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package minilang
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, errs := Tokenize("t.mp", "+ - * / % == != < <= > >= && || ! = & ( ) { } [ ] , ;")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []TokKind{
+		TokPlus, TokMinus, TokStar, TokSlash, TokPercent,
+		TokEq, TokNe, TokLt, TokLe, TokGt, TokGe,
+		TokAndAnd, TokOrOr, TokNot, TokAssign, TokAmp,
+		TokLParen, TokRParen, TokLBrace, TokRBrace,
+		TokLBracket, TokRBracket, TokComma, TokSemi, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeKeywordsAndIdents(t *testing.T) {
+	toks, errs := Tokenize("t.mp", "func var if else for while return break continue foo _bar x9")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []TokKind{TokFunc, TokVar, TokIf, TokElse, TokFor, TokWhile,
+		TokReturn, TokBreak, TokContinue, TokIdent, TokIdent, TokIdent, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[9].Text != "foo" || toks[10].Text != "_bar" || toks[11].Text != "x9" {
+		t.Errorf("identifier texts wrong: %v %v %v", toks[9], toks[10], toks[11])
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	cases := map[string]float64{
+		"0":       0,
+		"42":      42,
+		"3.5":     3.5,
+		"1e6":     1e6,
+		"2.5e-3":  2.5e-3,
+		"1E+9":    1e9,
+		"0.001":   0.001,
+		"1234567": 1234567,
+	}
+	for src, want := range cases {
+		toks, errs := Tokenize("t.mp", src)
+		if len(errs) != 0 {
+			t.Errorf("%q: errors %v", src, errs)
+			continue
+		}
+		if toks[0].Kind != TokNumber || toks[0].Num != want {
+			t.Errorf("%q = %v (%g), want %g", src, toks[0].Kind, toks[0].Num, want)
+		}
+	}
+}
+
+func TestTokenizeStrings(t *testing.T) {
+	toks, errs := Tokenize("t.mp", `"hello" "a\nb" "q\"q" "t\\t"`)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []string{"hello", "a\nb", `q"q`, `t\t`}
+	for i, w := range want {
+		if toks[i].Kind != TokString || toks[i].Text != w {
+			t.Errorf("string %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	src := `
+// line comment
+x /* block
+comment */ y // trailing
+/* another */ z`
+	toks, errs := Tokenize("t.mp", src)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	var names []string
+	for _, tok := range toks {
+		if tok.Kind == TokIdent {
+			names = append(names, tok.Text)
+		}
+	}
+	if strings.Join(names, ",") != "x,y,z" {
+		t.Errorf("idents = %v, want x,y,z", names)
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	src := "ab\n  cd"
+	toks, _ := Tokenize("pos.mp", src)
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("ab at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("cd at %v, want 2:3", toks[1].Pos)
+	}
+	if toks[0].Pos.File != "pos.mp" {
+		t.Errorf("file = %q", toks[0].Pos.File)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		`"bad \q escape"`,
+		`@`,
+		`/* unterminated block`,
+		`a | b`,
+	}
+	for _, src := range cases {
+		_, errs := Tokenize("t.mp", src)
+		if len(errs) == 0 {
+			t.Errorf("%q: expected lexical error", src)
+		}
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	if TokEOF.String() != "EOF" || TokIdent.String() != "identifier" {
+		t.Error("token kind names wrong")
+	}
+	if TokKind(999).String() == "" {
+		t.Error("unknown token kind should render")
+	}
+}

@@ -1,0 +1,145 @@
+// Package minilang implements the front end for MiniMP, a small C-like
+// message-passing language. The ScalAna paper analyzes C/Fortran MPI programs
+// through LLVM; this repository substitutes MiniMP so that the same static
+// analyses (CFG construction, loop detection, inter-procedural inlining,
+// graph contraction) run on real program structure with source positions.
+//
+// The package provides the lexer, parser, AST, and semantic checker.
+package minilang
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+
+	// Keywords.
+	TokFunc
+	TokVar
+	TokIf
+	TokElse
+	TokFor
+	TokWhile
+	TokReturn
+	TokBreak
+	TokContinue
+
+	// Punctuation and operators.
+	TokLParen   // (
+	TokRParen   // )
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokComma    // ,
+	TokSemi     // ;
+	TokAssign   // =
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokPercent  // %
+	TokEq       // ==
+	TokNe       // !=
+	TokLt       // <
+	TokLe       // <=
+	TokGt       // >
+	TokGe       // >=
+	TokAndAnd   // &&
+	TokOrOr     // ||
+	TokNot      // !
+	TokAmp      // & (function reference)
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF:      "EOF",
+	TokIdent:    "identifier",
+	TokNumber:   "number",
+	TokString:   "string",
+	TokFunc:     "func",
+	TokVar:      "var",
+	TokIf:       "if",
+	TokElse:     "else",
+	TokFor:      "for",
+	TokWhile:    "while",
+	TokReturn:   "return",
+	TokBreak:    "break",
+	TokContinue: "continue",
+	TokLParen:   "(",
+	TokRParen:   ")",
+	TokLBrace:   "{",
+	TokRBrace:   "}",
+	TokLBracket: "[",
+	TokRBracket: "]",
+	TokComma:    ",",
+	TokSemi:     ";",
+	TokAssign:   "=",
+	TokPlus:     "+",
+	TokMinus:    "-",
+	TokStar:     "*",
+	TokSlash:    "/",
+	TokPercent:  "%",
+	TokEq:       "==",
+	TokNe:       "!=",
+	TokLt:       "<",
+	TokLe:       "<=",
+	TokGt:       ">",
+	TokGe:       ">=",
+	TokAndAnd:   "&&",
+	TokOrOr:     "||",
+	TokNot:      "!",
+	TokAmp:      "&",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"func":     TokFunc,
+	"var":      TokVar,
+	"if":       TokIf,
+	"else":     TokElse,
+	"for":      TokFor,
+	"while":    TokWhile,
+	"return":   TokReturn,
+	"break":    TokBreak,
+	"continue": TokContinue,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Num  float64
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokNumber, TokString:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

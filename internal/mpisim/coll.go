@@ -1,0 +1,149 @@
+package mpisim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Collective synchronization. All ranks must invoke collectives in the
+// same program order (SPMD); the k-th collective of every rank meets in
+// one slot. The last-arriving rank computes the completion time, and every
+// participant learns who the straggler was — the inter-process dependence
+// edge ScalAna's backtracking follows out of a slow collective.
+
+type arrival struct {
+	t   float64
+	ctx any
+}
+
+type collSlot struct {
+	op       string
+	root     int
+	bytes    float64
+	arrivals []arrival
+	got      int
+	done     chan struct{}
+	// computed by the last arriver:
+	tMax     float64
+	depRank  int
+	depCtx   any
+	complete float64
+	reads    int
+}
+
+type collectives struct {
+	w     *World
+	mu    sync.Mutex
+	slots map[int]*collSlot
+}
+
+func newCollectives(w *World) *collectives {
+	return &collectives{w: w, slots: map[int]*collSlot{}}
+}
+
+// cost returns the collective's completion cost beyond the last arrival,
+// using tree/butterfly algorithm shapes over the LogGP parameters.
+func (w *World) collCost(op string, bytes float64, n int) float64 {
+	net := w.cfg.Net
+	logn := ceilLog2b(n)
+	switch op {
+	case "mpi_barrier":
+		return logn * (net.Latency + net.Overhead)
+	case "mpi_bcast", "mpi_reduce":
+		return logn * (net.Latency + bytes*net.PerByte + net.Overhead)
+	case "mpi_allreduce":
+		// reduce-scatter + allgather butterfly: 2 log n stages.
+		return 2 * logn * (net.Latency + bytes*net.PerByte + net.Overhead)
+	case "mpi_alltoall":
+		return float64(n-1)*(net.Overhead+bytes*net.PerByte) + net.Latency*logn
+	case "mpi_allgather":
+		return logn*net.Latency + float64(n-1)*bytes*net.PerByte
+	}
+	panic(fmt.Sprintf("mpisim: unknown collective %q", op))
+}
+
+func ceilLog2b(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// collective executes one collective operation on the calling rank.
+func (p *Proc) collective(op string, root int, bytes float64) {
+	t0 := p.Clock
+	p.mpiOverhead()
+	seq := p.collSeq
+	p.collSeq++
+
+	c := p.world.colls
+	c.mu.Lock()
+	slot := c.slots[seq]
+	if slot == nil {
+		slot = &collSlot{
+			op:       op,
+			root:     root,
+			bytes:    bytes,
+			arrivals: make([]arrival, p.world.np),
+			done:     make(chan struct{}),
+			depRank:  -1,
+		}
+		c.slots[seq] = slot
+	}
+	if slot.op != op {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("mpisim: rank %d called %s where other ranks called %s (collective #%d mismatch)", p.Rank, op, slot.op, seq))
+	}
+	if slot.root != root {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("mpisim: rank %d used root %d where other ranks used %d in %s", p.Rank, root, slot.root, op))
+	}
+	slot.arrivals[p.Rank] = arrival{t: p.Clock, ctx: p.Ctx}
+	slot.got++
+	if slot.got == p.world.np {
+		for r, a := range slot.arrivals {
+			if a.t > slot.tMax || slot.depRank == -1 {
+				slot.tMax = a.t
+				slot.depRank = r
+				slot.depCtx = a.ctx
+			}
+		}
+		slot.complete = slot.tMax + p.world.collCost(op, bytes, p.world.np)
+		close(slot.done)
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-slot.done:
+	case <-p.world.abort:
+		panic("mpisim: run aborted by failure on another rank")
+	case <-time.After(p.world.cfg.DeadlockTimeout):
+		panic(fmt.Sprintf("mpisim: rank %d deadlocked in %s #%d (%d/%d ranks arrived)", p.Rank, op, seq, slot.got, p.world.np))
+	}
+
+	myArrival := p.Clock
+	wait := slot.tMax - myArrival
+	if wait < 0 {
+		wait = 0
+	}
+	p.waitUntil(slot.complete)
+
+	depRank := slot.depRank
+	depCtx := slot.depCtx
+	if depRank == p.Rank {
+		// This rank was the straggler; it depends on no one here.
+		depRank, depCtx = -1, nil
+	}
+	p.emit(&Event{Kind: EvCollective, Op: op, Peer: -1, Bytes: bytes,
+		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: depRank, DepCtx: depCtx,
+		Collective: true, Root: root})
+
+	c.mu.Lock()
+	slot.reads++
+	if slot.reads == p.world.np {
+		delete(c.slots, seq)
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,149 @@
+// Package mpisim is a deterministic message-passing runtime simulator.
+//
+// The ScalAna paper runs MPI applications on Tianhe-2 and an InfiniBand
+// cluster; offline pure-Go has neither MPI nor an interconnect, so this
+// package substitutes a simulator in which every rank is a goroutine with
+// its own virtual clock and PMU (internal/machine). Point-to-point
+// messages match by sequence number per (src,dst,tag) channel, collectives
+// synchronize on arrival of all ranks, and completion times follow a
+// LogGP-style cost model. Because completion times are computed from
+// virtual clocks only, results are independent of goroutine scheduling.
+//
+// Crucially for the paper's subject matter, the simulator produces *wait
+// states*: a receive that blocks on a late sender, or a collective that
+// waits for a straggler, records how long it waited and on whom — exactly
+// the inter-process dependence that ScalAna's backtracking walks.
+package mpisim
+
+import "scalana/internal/machine"
+
+// EventKind classifies MPI events reported to tool hooks.
+type EventKind int
+
+// Event kinds.
+const (
+	EvSend EventKind = iota
+	EvRecv
+	EvIsend
+	EvIrecv
+	EvWait
+	EvWaitall
+	EvSendrecv
+	EvCollective
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSend:
+		return "send"
+	case EvRecv:
+		return "recv"
+	case EvIsend:
+		return "isend"
+	case EvIrecv:
+		return "irecv"
+	case EvWait:
+		return "wait"
+	case EvWaitall:
+		return "waitall"
+	case EvSendrecv:
+		return "sendrecv"
+	case EvCollective:
+		return "collective"
+	}
+	return "event"
+}
+
+// AnySource is the wildcard source rank for mpi_recv_any.
+const AnySource = -1
+
+// Event describes one completed MPI operation on one rank. Tool hooks
+// (the ScalAna PMPI layer, the tracer, the profiler) receive every event.
+type Event struct {
+	Kind EventKind
+	Op   string // MiniMP builtin name (mpi_send, mpi_allreduce, ...)
+	Rank int
+	Peer int // matched peer rank; -1 for collectives/none
+	Tag  int
+	// Bytes is the message payload (per peer for collectives).
+	Bytes float64
+	// TStart/TEnd bracket the operation in virtual time.
+	TStart, TEnd float64
+	// Wait is the blocked time spent inside the operation waiting for
+	// remote progress. Backtracking prunes communication dependence edges
+	// with no waiting (paper §IV-B).
+	Wait float64
+	// DepRank is the rank whose lateness this operation waited on: the
+	// matched sender for receives, the last-arriving rank for collectives.
+	// -1 when the operation did not depend on a remote rank.
+	DepRank int
+	// DepCtx is the peer's attribution context (PSG vertex) at the
+	// operation that satisfied the dependence.
+	DepCtx any
+	// Ctx is the local attribution context when the event completed.
+	Ctx any
+	// Collective marks collective operations; Root is the collective root
+	// (or -1).
+	Collective bool
+	Root       int
+	// Requests is the number of requests completed (for waitall).
+	Requests int
+	// ReqID is the request handle for isend/irecv/wait events (0 if none);
+	// the ScalAna PMPI layer keys its request-converter map on it
+	// (paper Fig. 5).
+	ReqID int
+}
+
+// AdvanceKind classifies virtual-time advances for hook attribution.
+type AdvanceKind int
+
+// Advance kinds.
+const (
+	// AdvCompute is application computation (machine model time).
+	AdvCompute AdvanceKind = iota
+	// AdvGlue is interpreter/program bookkeeping overhead.
+	AdvGlue
+	// AdvMPIOverhead is the CPU cost of entering an MPI operation.
+	AdvMPIOverhead
+	// AdvTransfer is local message copy cost.
+	AdvTransfer
+	// AdvWait is blocked time inside an MPI operation.
+	AdvWait
+	// AdvPerturb is virtual overhead charged by a measurement tool.
+	AdvPerturb
+)
+
+func (k AdvanceKind) String() string {
+	switch k {
+	case AdvCompute:
+		return "compute"
+	case AdvGlue:
+		return "glue"
+	case AdvMPIOverhead:
+		return "mpi-overhead"
+	case AdvTransfer:
+		return "transfer"
+	case AdvWait:
+		return "wait"
+	case AdvPerturb:
+		return "perturb"
+	}
+	return "advance"
+}
+
+// Hook observes one rank's execution. Each rank gets its own hook
+// instances, so implementations need no internal locking.
+//
+// Both callbacks return the virtual measurement overhead (seconds) the
+// tool wants charged for the observation — the per-sample interrupt cost
+// or the per-record logging cost. The simulator applies the charge as an
+// AdvPerturb advance after the callback returns; overhead returned while
+// observing an AdvPerturb advance is ignored to keep the charge finite.
+type Hook interface {
+	// Advance is called for every virtual-time advance on the rank.
+	// pmu holds the PMU counter deltas accrued during the advance (zero
+	// for waits and perturbation).
+	Advance(p *Proc, from, to float64, kind AdvanceKind, ctx any, pmu machine.Vec) (overhead float64)
+	// MPIEvent is called after each MPI operation completes.
+	MPIEvent(p *Proc, ev *Event) (overhead float64)
+}

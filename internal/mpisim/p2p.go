@@ -1,0 +1,407 @@
+package mpisim
+
+import (
+	"fmt"
+	"time"
+
+	"scalana/internal/machine"
+)
+
+// Point-to-point matching. Messages on one (src,dst,tag) channel match in
+// program order on both sides (sequence numbers), so matching is
+// deterministic regardless of real goroutine scheduling: completion times
+// are computed purely from virtual clocks.
+//
+// Wildcard receives (mpi_recv_any) match the unconsumed send with the
+// earliest virtual arrival among all channels targeting (dst,tag). Mixing
+// wildcard and specific receives on the same channel is rejected, which
+// keeps wildcard matching well-defined.
+
+type p2pKey struct{ src, dst, tag int }
+
+type sendInfo struct {
+	from    int
+	seq     int
+	bytes   float64
+	tArrive float64 // virtual arrival time at the receiver
+	ctx     any     // sender's attribution context at the send
+	matched bool
+}
+
+type channel struct {
+	sends       []*sendInfo
+	recvClaims  int                    // sequence numbers claimed by specific receives
+	hasSpecific bool                   // a specific receive has used this channel
+	waiters     map[int]chan *sendInfo // specific waiters by sequence
+}
+
+type anyKey struct{ dst, tag int }
+
+type matcher struct {
+	w          *World
+	mu         chan struct{} // 1-buffered channel used as a mutex with abort support
+	chans      map[p2pKey]*channel
+	anyWaiters map[anyKey][]chan *sendInfo
+}
+
+func newMatcher(w *World) *matcher {
+	m := &matcher{
+		w:          w,
+		mu:         make(chan struct{}, 1),
+		chans:      map[p2pKey]*channel{},
+		anyWaiters: map[anyKey][]chan *sendInfo{},
+	}
+	m.mu <- struct{}{}
+	return m
+}
+
+func (m *matcher) lock()   { <-m.mu }
+func (m *matcher) unlock() { m.mu <- struct{}{} }
+
+func (m *matcher) chanFor(k p2pKey) *channel {
+	ch := m.chans[k]
+	if ch == nil {
+		ch = &channel{waiters: map[int]chan *sendInfo{}}
+		m.chans[k] = ch
+	}
+	return ch
+}
+
+// postSend registers a message from src to dst and wakes a matching waiter.
+func (m *matcher) postSend(src, dst, tag int, bytes, tArrive float64, ctx any) {
+	m.lock()
+	k := p2pKey{src, dst, tag}
+	ch := m.chanFor(k)
+	info := &sendInfo{from: src, seq: len(ch.sends), bytes: bytes, tArrive: tArrive, ctx: ctx}
+	ch.sends = append(ch.sends, info)
+	if wtr, ok := ch.waiters[info.seq]; ok {
+		delete(ch.waiters, info.seq)
+		info.matched = true
+		m.unlock()
+		wtr <- info
+		return
+	}
+	ak := anyKey{dst, tag}
+	if ws := m.anyWaiters[ak]; len(ws) > 0 && !ch.hasSpecific {
+		wtr := ws[0]
+		m.anyWaiters[ak] = ws[1:]
+		info.matched = true
+		m.unlock()
+		wtr <- info
+		return
+	}
+	m.unlock()
+}
+
+// claimRecv obtains the matching send for the next specific receive posted
+// by dst on (src,tag); it blocks (in real time) until the send is posted.
+func (m *matcher) claimRecv(p *Proc, src, dst, tag int) *sendInfo {
+	m.lock()
+	k := p2pKey{src, dst, tag}
+	ch := m.chanFor(k)
+	ch.hasSpecific = true
+	seq := ch.recvClaims
+	ch.recvClaims++
+	if seq < len(ch.sends) {
+		info := ch.sends[seq]
+		if info.matched {
+			m.unlock()
+			panic(fmt.Sprintf("mpisim: send %d->%d tag %d seq %d already consumed by a wildcard receive (mixed wildcard/specific matching is not supported)", src, dst, tag, seq))
+		}
+		info.matched = true
+		m.unlock()
+		return info
+	}
+	wtr := make(chan *sendInfo, 1)
+	ch.waiters[seq] = wtr
+	m.unlock()
+	return m.await(p, wtr, fmt.Sprintf("recv from %d tag %d", src, tag))
+}
+
+// claimRecvAny matches the next wildcard receive on (dst,tag).
+func (m *matcher) claimRecvAny(p *Proc, dst, tag int) *sendInfo {
+	m.lock()
+	var best *sendInfo
+	for k, ch := range m.chans {
+		if k.dst != dst || k.tag != tag || ch.hasSpecific {
+			continue
+		}
+		for _, s := range ch.sends {
+			if s.matched {
+				continue
+			}
+			if best == nil || s.tArrive < best.tArrive || (s.tArrive == best.tArrive && s.from < best.from) {
+				best = s
+			}
+			break // sends are in order; only the first unmatched can match
+		}
+	}
+	if best != nil {
+		best.matched = true
+		m.unlock()
+		return best
+	}
+	ak := anyKey{dst, tag}
+	wtr := make(chan *sendInfo, 1)
+	m.anyWaiters[ak] = append(m.anyWaiters[ak], wtr)
+	m.unlock()
+	return m.await(p, wtr, fmt.Sprintf("recv from any tag %d", tag))
+}
+
+func (m *matcher) await(p *Proc, wtr chan *sendInfo, what string) *sendInfo {
+	select {
+	case info := <-wtr:
+		return info
+	case <-m.w.abort:
+		panic("mpisim: run aborted by failure on another rank")
+	case <-time.After(m.w.cfg.DeadlockTimeout):
+		panic(fmt.Sprintf("mpisim: rank %d deadlocked in %s (no matching send after %v)", p.Rank, what, m.w.cfg.DeadlockTimeout))
+	}
+}
+
+// Request is a non-blocking communication handle.
+type Request struct {
+	id     int
+	isSend bool
+	src    int // AnySource for wildcard receives
+	tag    int
+	bytes  float64
+	// For receives matched at post time (specific source), info arrives
+	// through claim; wildcard receives resolve at wait time.
+	claim   chan *sendInfo
+	claimed *sendInfo
+	postCtx any
+}
+
+// ID returns the request handle value exposed to the application.
+func (r *Request) ID() int { return r.id }
+
+func (p *Proc) validPeer(peer int) {
+	if peer < 0 || peer >= p.world.np {
+		panic(fmt.Sprintf("mpisim: rank %d: peer %d out of range [0,%d)", p.Rank, peer, p.world.np))
+	}
+}
+
+// Send is an eager blocking send: the sender pays overhead plus injection
+// cost and proceeds; the message arrives after the wire latency.
+func (p *Proc) Send(dst, tag int, bytes float64) {
+	p.validPeer(dst)
+	t0 := p.Clock
+	p.mpiOverhead()
+	p.advance(bytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
+	p.world.matcher.postSend(p.Rank, dst, tag, bytes, p.Clock+p.world.cfg.Net.Latency, p.Ctx)
+	p.emit(&Event{Kind: EvSend, Op: "mpi_send", Peer: dst, Tag: tag, Bytes: bytes, TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1})
+}
+
+// Recv is a blocking receive from a specific source.
+func (p *Proc) Recv(src, tag int, bytes float64) {
+	p.validPeer(src)
+	t0 := p.Clock
+	p.mpiOverhead()
+	info := p.world.matcher.claimRecv(p, src, p.Rank, tag)
+	wait := p.waitUntil(info.tArrive)
+	p.advance(info.bytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
+	p.emit(&Event{Kind: EvRecv, Op: "mpi_recv", Peer: info.from, Tag: tag, Bytes: info.bytes,
+		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: info.from, DepCtx: info.ctx, Root: -1})
+}
+
+// RecvAny is a blocking wildcard-source receive; it returns the matched
+// source rank (the MPI_Status.MPI_SOURCE of paper Fig. 5).
+func (p *Proc) RecvAny(tag int, bytes float64) int {
+	t0 := p.Clock
+	p.mpiOverhead()
+	info := p.world.matcher.claimRecvAny(p, p.Rank, tag)
+	wait := p.waitUntil(info.tArrive)
+	p.advance(info.bytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
+	p.emit(&Event{Kind: EvRecv, Op: "mpi_recv_any", Peer: info.from, Tag: tag, Bytes: info.bytes,
+		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: info.from, DepCtx: info.ctx, Root: -1})
+	return info.from
+}
+
+// Isend posts a non-blocking send. Eager semantics: the payload is
+// buffered immediately, so the returned request completes instantly.
+func (p *Proc) Isend(dst, tag int, bytes float64) *Request {
+	p.validPeer(dst)
+	t0 := p.Clock
+	p.mpiOverhead()
+	p.advance(bytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
+	p.world.matcher.postSend(p.Rank, dst, tag, bytes, p.Clock+p.world.cfg.Net.Latency, p.Ctx)
+	req := p.newRequest(&Request{isSend: true, src: dst, tag: tag, bytes: bytes, postCtx: p.Ctx})
+	p.emit(&Event{Kind: EvIsend, Op: "mpi_isend", Peer: dst, Tag: tag, Bytes: bytes, TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1, ReqID: req.id})
+	return req
+}
+
+// Irecv posts a non-blocking receive from a specific source. The matching
+// sequence number is claimed at post time, preserving program order.
+func (p *Proc) Irecv(src, tag int, bytes float64) *Request {
+	p.validPeer(src)
+	t0 := p.Clock
+	p.mpiOverhead()
+	req := p.newRequest(&Request{src: src, tag: tag, bytes: bytes, postCtx: p.Ctx})
+	req.claim = p.claimAsync(src, tag)
+	p.emit(&Event{Kind: EvIrecv, Op: "mpi_irecv", Peer: src, Tag: tag, Bytes: bytes, TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1, ReqID: req.id})
+	return req
+}
+
+// IrecvAny posts a non-blocking wildcard receive; the source is uncertain
+// until completion (paper Fig. 5's status-based resolution).
+func (p *Proc) IrecvAny(tag int, bytes float64) *Request {
+	t0 := p.Clock
+	p.mpiOverhead()
+	req := p.newRequest(&Request{src: AnySource, tag: tag, bytes: bytes, postCtx: p.Ctx})
+	p.emit(&Event{Kind: EvIrecv, Op: "mpi_irecv_any", Peer: AnySource, Tag: tag, Bytes: bytes, TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1, ReqID: req.id})
+	return req
+}
+
+// claimAsync claims the next sequence number for (src -> p.Rank, tag) and
+// returns a channel that will deliver the matching send.
+func (p *Proc) claimAsync(src, tag int) chan *sendInfo {
+	m := p.world.matcher
+	m.lock()
+	k := p2pKey{src, p.Rank, tag}
+	ch := m.chanFor(k)
+	ch.hasSpecific = true
+	seq := ch.recvClaims
+	ch.recvClaims++
+	out := make(chan *sendInfo, 1)
+	if seq < len(ch.sends) {
+		info := ch.sends[seq]
+		info.matched = true
+		out <- info
+		m.unlock()
+		return out
+	}
+	ch.waiters[seq] = out
+	m.unlock()
+	return out
+}
+
+func (p *Proc) newRequest(r *Request) *Request {
+	p.nextReq++
+	r.id = p.nextReq
+	p.reqs[r.id] = r
+	p.reqOrder = append(p.reqOrder, r.id)
+	return r
+}
+
+// FindRequest resolves an application-level request handle.
+func (p *Proc) FindRequest(id int) *Request {
+	return p.reqs[id]
+}
+
+// resolve obtains the matched sendInfo for a receive request.
+func (p *Proc) resolve(r *Request) *sendInfo {
+	if r.claimed != nil {
+		return r.claimed
+	}
+	if r.isSend {
+		return nil
+	}
+	if r.src == AnySource {
+		r.claimed = p.world.matcher.claimRecvAny(p, p.Rank, r.tag)
+		return r.claimed
+	}
+	select {
+	case info := <-r.claim:
+		r.claimed = info
+	case <-p.world.abort:
+		panic("mpisim: run aborted by failure on another rank")
+	case <-time.After(p.world.cfg.DeadlockTimeout):
+		panic(fmt.Sprintf("mpisim: rank %d deadlocked waiting for irecv from %d tag %d", p.Rank, r.src, r.tag))
+	}
+	return r.claimed
+}
+
+func (p *Proc) dropRequest(id int) {
+	delete(p.reqs, id)
+	for i, x := range p.reqOrder {
+		if x == id {
+			p.reqOrder = append(p.reqOrder[:i], p.reqOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Wait completes one outstanding request (paper Fig. 5: the communication
+// dependence of a non-blocking receive is recorded here, where source and
+// tag become certain).
+func (p *Proc) Wait(id int) {
+	r := p.reqs[id]
+	if r == nil {
+		panic(fmt.Sprintf("mpisim: rank %d: mpi_wait on unknown request %d", p.Rank, id))
+	}
+	t0 := p.Clock
+	p.mpiOverhead()
+	if r.isSend {
+		p.dropRequest(id)
+		p.emit(&Event{Kind: EvWait, Op: "mpi_wait", Peer: r.src, Tag: r.tag, Bytes: r.bytes,
+			TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1, Requests: 1, ReqID: id})
+		return
+	}
+	info := p.resolve(r)
+	wait := p.waitUntil(info.tArrive)
+	p.advance(info.bytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
+	p.dropRequest(id)
+	p.emit(&Event{Kind: EvWait, Op: "mpi_wait", Peer: info.from, Tag: r.tag, Bytes: info.bytes,
+		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: info.from, DepCtx: info.ctx, Root: -1, Requests: 1, ReqID: id})
+}
+
+// Waitall completes every outstanding request of the rank. The dependence
+// recorded is the request whose message arrived last — the rank that kept
+// this rank waiting.
+func (p *Proc) Waitall() {
+	t0 := p.Clock
+	p.mpiOverhead()
+	order := append([]int(nil), p.reqOrder...)
+	var lastArrive float64
+	depRank := -1
+	var depCtx any
+	var totalBytes float64
+	n := 0
+	for _, id := range order {
+		r := p.reqs[id]
+		if r == nil {
+			continue
+		}
+		n++
+		if r.isSend {
+			p.dropRequest(id)
+			continue
+		}
+		info := p.resolve(r)
+		totalBytes += info.bytes
+		if info.tArrive > lastArrive {
+			lastArrive = info.tArrive
+			depRank = info.from
+			depCtx = info.ctx
+		}
+		p.dropRequest(id)
+	}
+	wait := p.waitUntil(lastArrive)
+	if totalBytes > 0 {
+		p.advance(totalBytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
+	}
+	p.emit(&Event{Kind: EvWaitall, Op: "mpi_waitall", Peer: depRank, Tag: 0, Bytes: totalBytes,
+		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: depRank, DepCtx: depCtx, Root: -1, Requests: n})
+}
+
+// Sendrecv performs a combined exchange: both transfers proceed
+// concurrently and the call completes when the incoming message arrives.
+func (p *Proc) Sendrecv(dst, stag int, sbytes float64, src, rtag int, rbytes float64) {
+	p.validPeer(dst)
+	p.validPeer(src)
+	t0 := p.Clock
+	p.mpiOverhead()
+	p.advance(sbytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
+	p.world.matcher.postSend(p.Rank, dst, stag, sbytes, p.Clock+p.world.cfg.Net.Latency, p.Ctx)
+	info := p.world.matcher.claimRecv(p, src, p.Rank, rtag)
+	wait := p.waitUntil(info.tArrive)
+	p.advance(info.bytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
+	p.emit(&Event{Kind: EvSendrecv, Op: "mpi_sendrecv", Peer: info.from, Tag: rtag, Bytes: sbytes + info.bytes,
+		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: info.from, DepCtx: info.ctx, Root: -1})
+}
+
+// Outstanding reports the number of pending requests (testing aid).
+func (p *Proc) Outstanding() int { return len(p.reqs) }
+
+var zeroVec machine.Vec

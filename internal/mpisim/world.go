@@ -1,0 +1,306 @@
+package mpisim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"scalana/internal/machine"
+)
+
+// NetConfig is the LogGP-style interconnect cost model.
+type NetConfig struct {
+	Latency  float64 // L: wire latency per message (seconds)
+	PerByte  float64 // G: per-byte transfer/copy time (seconds)
+	Overhead float64 // o: CPU overhead per MPI operation (seconds)
+}
+
+// DefaultNet resembles a 100 Gb/s EDR InfiniBand fabric.
+func DefaultNet() NetConfig {
+	return NetConfig{
+		Latency:  1.8e-6,
+		PerByte:  1.0 / 10e9,
+		Overhead: 0.6e-6,
+	}
+}
+
+// Config configures a World.
+type Config struct {
+	NP   int
+	Net  NetConfig
+	Core machine.Config
+	// Seed seeds the per-rank deterministic RNGs.
+	Seed int64
+	// HookFactory creates per-rank tool hooks; nil means no tools.
+	HookFactory func(rank int) []Hook
+	// DeadlockTimeout aborts the run if a blocking operation stalls in
+	// real time (defaults to 60s).
+	DeadlockTimeout time.Duration
+}
+
+// World is one simulated MPI job.
+type World struct {
+	cfg     Config
+	np      int
+	procs   []*Proc
+	matcher *matcher
+	colls   *collectives
+	abort   chan struct{}
+	abortMu sync.Mutex
+	abErr   error
+}
+
+// NewWorld creates a world with np ranks.
+func NewWorld(cfg Config) *World {
+	if cfg.NP <= 0 {
+		panic("mpisim: NP must be positive")
+	}
+	if cfg.Net == (NetConfig{}) {
+		cfg.Net = DefaultNet()
+	}
+	if cfg.Core.ClockHz == 0 {
+		mem := cfg.Core.MemSpeed
+		cfg.Core = machine.DefaultConfig()
+		cfg.Core.MemSpeed = mem
+	}
+	if cfg.DeadlockTimeout == 0 {
+		cfg.DeadlockTimeout = 60 * time.Second
+	}
+	w := &World{
+		cfg:   cfg,
+		np:    cfg.NP,
+		abort: make(chan struct{}),
+	}
+	w.matcher = newMatcher(w)
+	w.colls = newCollectives(w)
+	w.procs = make([]*Proc, cfg.NP)
+	for r := 0; r < cfg.NP; r++ {
+		p := &Proc{
+			world: w,
+			Rank:  r,
+			Core:  machine.NewCore(cfg.Core, r),
+			rng:   rand.New(rand.NewSource(cfg.Seed*7919 + int64(r) + 1)),
+			reqs:  map[int]*Request{},
+		}
+		if cfg.HookFactory != nil {
+			p.rawHooks = cfg.HookFactory(r)
+		}
+		w.procs[r] = p
+	}
+	return w
+}
+
+// NP returns the number of ranks.
+func (w *World) NP() int { return w.np }
+
+// Proc returns the given rank's process state.
+func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
+
+// RunResult summarizes a completed run.
+type RunResult struct {
+	// Elapsed is the job's virtual makespan: the maximum rank clock.
+	Elapsed float64
+	// Clocks holds each rank's final virtual clock.
+	Clocks []float64
+	// PerturbTotal is the summed virtual tool overhead across ranks.
+	PerturbTotal float64
+}
+
+// Run executes body once per rank, each in its own goroutine, and waits
+// for completion. A panic in any rank aborts the whole job and is returned
+// as an error.
+func (w *World) Run(body func(p *Proc)) (RunResult, error) {
+	var wg sync.WaitGroup
+	wg.Add(w.np)
+	for r := 0; r < w.np; r++ {
+		p := w.procs[r]
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					w.fail(fmt.Errorf("rank %d: %v", p.Rank, rec))
+				}
+			}()
+			body(p)
+		}()
+	}
+	wg.Wait()
+	w.abortMu.Lock()
+	err := w.abErr
+	w.abortMu.Unlock()
+	res := RunResult{Clocks: make([]float64, w.np)}
+	for r, p := range w.procs {
+		res.Clocks[r] = p.Clock
+		res.PerturbTotal += p.PerturbTotal
+		if p.Clock > res.Elapsed {
+			res.Elapsed = p.Clock
+		}
+	}
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func (w *World) fail(err error) {
+	w.abortMu.Lock()
+	if w.abErr == nil {
+		w.abErr = err
+		close(w.abort)
+	}
+	w.abortMu.Unlock()
+}
+
+// aborted panics if the world failed; blocking operations call it after
+// waking so that sibling ranks unwind instead of deadlocking.
+func (w *World) aborted() {
+	select {
+	case <-w.abort:
+		panic("mpisim: run aborted by failure on another rank")
+	default:
+	}
+}
+
+// Proc is the per-rank execution state: the virtual clock, the PMU core,
+// outstanding requests, tool hooks, and the attribution context (the PSG
+// vertex currently executing, set by the interpreter).
+type Proc struct {
+	world *World
+	Rank  int
+	// Clock is the rank's virtual time in seconds.
+	Clock float64
+	Core  *machine.Core
+	// Ctx is the current attribution context (opaque to the simulator;
+	// the interpreter stores the current *psg.Vertex here).
+	Ctx any
+	// PerturbTotal accumulates virtual tool overhead (AdvPerturb).
+	PerturbTotal float64
+
+	rawHooks []Hook
+	rng      *rand.Rand
+	reqs     map[int]*Request
+	reqOrder []int
+	nextReq  int
+	collSeq  int
+}
+
+// NP returns the job size.
+func (p *Proc) NP() int { return p.world.np }
+
+// World returns the owning world.
+func (p *Proc) World() *World { return p.world }
+
+// Rand returns a deterministic per-rank pseudo-random float64 in [0,1).
+func (p *Proc) Rand() float64 { return p.rng.Float64() }
+
+// Hooks returns the rank's tool hooks.
+func (p *Proc) Hooks() []Hook { return p.rawHooks }
+
+// advance moves the clock forward and notifies hooks. Overhead requested
+// by hooks is charged as a follow-up AdvPerturb advance.
+func (p *Proc) advance(dt float64, kind AdvanceKind, pmu machine.Vec) {
+	if dt < 0 {
+		if dt > -1e-12 {
+			dt = 0
+		} else {
+			panic(fmt.Sprintf("mpisim: rank %d time going backwards by %g", p.Rank, -dt))
+		}
+	}
+	from := p.Clock
+	p.Clock += dt
+	var owed float64
+	for _, h := range p.rawHooks {
+		owed += h.Advance(p, from, p.Clock, kind, p.Ctx, pmu)
+	}
+	if owed > 0 && kind != AdvPerturb {
+		p.Perturb(owed)
+	}
+}
+
+func (p *Proc) emit(ev *Event) {
+	ev.Rank = p.Rank
+	ev.Ctx = p.Ctx
+	var owed float64
+	for _, h := range p.rawHooks {
+		owed += h.MPIEvent(p, ev)
+	}
+	if owed > 0 {
+		p.Perturb(owed)
+	}
+}
+
+// Compute executes application computation through the machine model.
+func (p *Proc) Compute(flops, loads, stores, ws float64) {
+	dt, pmu := p.Core.Compute(flops, loads, stores, ws)
+	p.advance(dt, AdvCompute, pmu)
+}
+
+// Glue charges n abstract bookkeeping instructions (interpreter overhead).
+func (p *Proc) Glue(n float64) {
+	dt, pmu := p.Core.Overhead(n)
+	p.advance(dt, AdvGlue, pmu)
+}
+
+// Perturb charges virtual measurement-tool overhead. The overhead
+// experiments (paper Table I, Figs. 10/13) compare job makespans with and
+// without tools attached; tools call Perturb for their per-sample or
+// per-record costs so the comparison captures the same mechanism as on
+// real hardware.
+func (p *Proc) Perturb(dt float64) {
+	p.PerturbTotal += dt
+	p.advance(dt, AdvPerturb, machine.Vec{})
+}
+
+// mpiOverhead charges the CPU entry cost of one MPI operation.
+func (p *Proc) mpiOverhead() {
+	p.advance(p.world.cfg.Net.Overhead, AdvMPIOverhead, machine.Vec{})
+}
+
+// waitUntil blocks virtual time until t (no-op if already past).
+func (p *Proc) waitUntil(t float64) float64 {
+	if t <= p.Clock {
+		return 0
+	}
+	w := t - p.Clock
+	p.advance(w, AdvWait, machine.Vec{})
+	return w
+}
+
+func ceilLog2(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// Barrier synchronizes all ranks.
+func (p *Proc) Barrier() { p.collective("mpi_barrier", -1, 0) }
+
+// Bcast broadcasts bytes from root.
+func (p *Proc) Bcast(root int, bytes float64) { p.collective("mpi_bcast", root, bytes) }
+
+// Reduce reduces bytes to root.
+func (p *Proc) Reduce(root int, bytes float64) { p.collective("mpi_reduce", root, bytes) }
+
+// Allreduce reduces bytes to all ranks.
+func (p *Proc) Allreduce(bytes float64) { p.collective("mpi_allreduce", -1, bytes) }
+
+// Alltoall exchanges bytes with every rank.
+func (p *Proc) Alltoall(bytes float64) { p.collective("mpi_alltoall", -1, bytes) }
+
+// Allgather gathers bytes from every rank to all.
+func (p *Proc) Allgather(bytes float64) { p.collective("mpi_allgather", -1, bytes) }
+
+// SortedRanksByClock is a debugging helper returning ranks ordered by
+// their current virtual clocks.
+func (w *World) SortedRanksByClock() []int {
+	idx := make([]int, w.np)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return w.procs[idx[a]].Clock < w.procs[idx[b]].Clock })
+	return idx
+}

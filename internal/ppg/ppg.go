@@ -1,0 +1,192 @@
+// Package ppg assembles the Program Performance Graph (paper §III-C): the
+// per-process PSG is replicated across all ranks, each vertex carries the
+// performance vector profiling collected on that rank, and inter-process
+// communication dependence edges connect the vertices that waited to the
+// vertices that kept them waiting.
+package ppg
+
+import (
+	"fmt"
+	"sort"
+
+	"scalana/internal/machine"
+	"scalana/internal/prof"
+	"scalana/internal/psg"
+)
+
+// EdgeFrom addresses the waiting side of a dependence edge: one vertex on
+// one rank.
+type EdgeFrom struct {
+	VertexKey string
+	Rank      int
+}
+
+// DepEdge is one aggregated inter-process dependence edge: operations at
+// (VertexKey, Rank) waited TotalWait seconds in total on PeerRank, whose
+// responsible code was PeerVertexKey.
+type DepEdge struct {
+	PeerRank      int
+	PeerVertexKey string
+	Op            string
+	Count         int64
+	Bytes         float64
+	TotalWait     float64
+	MaxWait       float64
+	Collective    bool
+}
+
+// Graph is a Program Performance Graph for one job scale.
+type Graph struct {
+	PSG *psg.Graph
+	NP  int
+	// Perf holds per-vertex, per-rank performance vectors; slices have
+	// length NP and are zero-valued where a rank never sampled the vertex.
+	Perf map[string][]prof.PerfData
+	// Edges holds inter-process dependence edges grouped by waiting side.
+	Edges map[EdgeFrom][]*DepEdge
+	// RankTime is each rank's total sampled time.
+	RankTime []float64
+	// Storage is the summed profile storage across ranks (bytes).
+	Storage int64
+}
+
+// Build assembles the PPG from the PSG and all rank profiles.
+func Build(g *psg.Graph, profiles []*prof.RankProfile) (*Graph, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("ppg: no profiles")
+	}
+	np := profiles[0].NP
+	if len(profiles) != np {
+		return nil, fmt.Errorf("ppg: got %d profiles for np=%d", len(profiles), np)
+	}
+	pg := &Graph{
+		PSG:      g,
+		NP:       np,
+		Perf:     map[string][]prof.PerfData{},
+		Edges:    map[EdgeFrom][]*DepEdge{},
+		RankTime: make([]float64, np),
+	}
+	for _, rp := range profiles {
+		if rp.NP != np {
+			return nil, fmt.Errorf("ppg: profile for rank %d has np=%d, want %d", rp.Rank, rp.NP, np)
+		}
+		if rp.Rank < 0 || rp.Rank >= np {
+			return nil, fmt.Errorf("ppg: profile rank %d out of range", rp.Rank)
+		}
+		pg.Storage += rp.StorageBytes()
+		for key, pd := range rp.Vertex {
+			row := pg.Perf[key]
+			if row == nil {
+				row = make([]prof.PerfData, np)
+				pg.Perf[key] = row
+			}
+			row[rp.Rank] = *pd
+			pg.RankTime[rp.Rank] += pd.Time
+		}
+		// Aggregate dependence edges per (vertex, peer rank, peer vertex).
+		type aggKey struct {
+			from EdgeFrom
+			peer int
+			pkey string
+			op   string
+		}
+		agg := map[aggKey]*DepEdge{}
+		for _, rec := range rp.Comm {
+			if rec.DepRank < 0 {
+				continue
+			}
+			k := aggKey{
+				from: EdgeFrom{VertexKey: rec.VertexKey, Rank: rp.Rank},
+				peer: rec.DepRank,
+				pkey: rec.DepVertex,
+				op:   rec.Op,
+			}
+			e := agg[k]
+			if e == nil {
+				e = &DepEdge{PeerRank: rec.DepRank, PeerVertexKey: rec.DepVertex, Op: rec.Op, Collective: rec.Collective}
+				agg[k] = e
+			}
+			e.Count += rec.Count
+			e.Bytes += rec.Bytes * float64(rec.Count)
+			e.TotalWait += rec.TotalWait
+			if rec.MaxWait > e.MaxWait {
+				e.MaxWait = rec.MaxWait
+			}
+		}
+		for k, e := range agg {
+			pg.Edges[k.from] = append(pg.Edges[k.from], e)
+		}
+	}
+	// Deterministic edge ordering: heaviest wait first.
+	for from, edges := range pg.Edges {
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].TotalWait != edges[j].TotalWait {
+				return edges[i].TotalWait > edges[j].TotalWait
+			}
+			if edges[i].PeerRank != edges[j].PeerRank {
+				return edges[i].PeerRank < edges[j].PeerRank
+			}
+			return edges[i].PeerVertexKey < edges[j].PeerVertexKey
+		})
+		pg.Edges[from] = edges
+	}
+	return pg, nil
+}
+
+// TimeSeries returns the per-rank sampled time of one vertex (length NP,
+// zeros where the vertex never ran).
+func (pg *Graph) TimeSeries(key string) []float64 {
+	out := make([]float64, pg.NP)
+	if row, ok := pg.Perf[key]; ok {
+		for r := range row {
+			out[r] = row[r].Time
+		}
+	}
+	return out
+}
+
+// PMUSeries returns one counter's per-rank values for a vertex (the data
+// behind the paper's Figs. 15 and 16).
+func (pg *Graph) PMUSeries(key string, c machine.Counter) []float64 {
+	out := make([]float64, pg.NP)
+	if row, ok := pg.Perf[key]; ok {
+		for r := range row {
+			out[r] = row[r].PMU[c]
+		}
+	}
+	return out
+}
+
+// TotalTime is the summed sampled time across ranks.
+func (pg *Graph) TotalTime() float64 {
+	var s float64
+	for _, t := range pg.RankTime {
+		s += t
+	}
+	return s
+}
+
+// BestEdge returns the dominant dependence edge out of (key, rank): the
+// one with the largest total waiting time, or nil. When pruneWaitless is
+// set, edges whose waiting time never exceeded waitEps are ignored —
+// the paper's search-space pruning ("we only preserve the communication
+// dependence edge if a waiting event exists").
+func (pg *Graph) BestEdge(key string, rank int, pruneWaitless bool, waitEps float64) *DepEdge {
+	edges := pg.Edges[EdgeFrom{VertexKey: key, Rank: rank}]
+	for _, e := range edges {
+		if pruneWaitless && e.MaxWait < waitEps {
+			continue
+		}
+		return e // edges are sorted by TotalWait descending
+	}
+	return nil
+}
+
+// NumEdges counts all dependence edges (testing/reporting aid).
+func (pg *Graph) NumEdges() int {
+	n := 0
+	for _, es := range pg.Edges {
+		n += len(es)
+	}
+	return n
+}

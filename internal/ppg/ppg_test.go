@@ -1,0 +1,139 @@
+package ppg
+
+import (
+	"testing"
+
+	"scalana/internal/machine"
+	"scalana/internal/minilang"
+	"scalana/internal/prof"
+	"scalana/internal/psg"
+)
+
+func testGraph(t *testing.T) *psg.Graph {
+	t.Helper()
+	prog := minilang.MustParse("t.mp", `
+func main() {
+	compute(1e6, 1e4, 1e4, 4096);
+	mpi_allreduce(8);
+}`)
+	return psg.MustBuild(prog)
+}
+
+func mkProfile(rank, np int, g *psg.Graph, times []float64) *prof.RankProfile {
+	rp := &prof.RankProfile{
+		Rank: rank, NP: np,
+		Vertex:   map[string]*prof.PerfData{},
+		Comm:     map[prof.CommKey]*prof.CommRecord{},
+		Indirect: map[string]*prof.IndirectRecord{},
+	}
+	for i, v := range g.Root.Children {
+		if i < len(times) {
+			rp.Vertex[v.Key] = &prof.PerfData{Time: times[i], Samples: int64(times[i] * 1000),
+				PMU: machine.Vec{times[i] * 1e6, times[i] * 2e6, times[i] * 1e5, 0, 0}}
+		}
+	}
+	return rp
+}
+
+func TestBuildBasics(t *testing.T) {
+	g := testGraph(t)
+	np := 3
+	var profiles []*prof.RankProfile
+	for r := 0; r < np; r++ {
+		profiles = append(profiles, mkProfile(r, np, g, []float64{0.1 * float64(r+1), 0.05}))
+	}
+	pg, err := Build(g, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := g.Root.Children[0]
+	ts := pg.TimeSeries(comp.Key)
+	if len(ts) != np || ts[0] != 0.1 || ts[2] < 0.3-1e-9 || ts[2] > 0.3+1e-9 {
+		t.Errorf("time series = %v", ts)
+	}
+	pmu := pg.PMUSeries(comp.Key, machine.TotIns)
+	if pmu[1] != 0.2*1e6 {
+		t.Errorf("PMU series = %v", pmu)
+	}
+	wantTotal := (0.1 + 0.2 + 0.3) + 3*0.05
+	if got := pg.TotalTime(); got < wantTotal-1e-9 || got > wantTotal+1e-9 {
+		t.Errorf("total time = %g, want %g", got, wantTotal)
+	}
+	if pg.Storage <= 0 {
+		t.Error("storage not accumulated")
+	}
+	if ts := pg.TimeSeries("nonexistent"); len(ts) != np {
+		t.Errorf("missing vertex series length = %d", len(ts))
+	}
+}
+
+func TestBuildEdgesAggregation(t *testing.T) {
+	g := testGraph(t)
+	mpiV := g.Root.Children[1]
+	np := 2
+	p0 := mkProfile(0, np, g, []float64{0.1, 0.05})
+	key := prof.CommKey{VertexKey: mpiV.Key, Op: "mpi_allreduce", DepRank: 1,
+		DepVertex: mpiV.Key, Bytes: 8, Collective: true}
+	p0.Comm[key] = &prof.CommRecord{CommKey: key, Count: 10, TotalWait: 0.5, MaxWait: 0.1}
+	// A second record with a different op but same peer aggregates into a
+	// separate edge.
+	key2 := key
+	key2.Op = "mpi_barrier"
+	p0.Comm[key2] = &prof.CommRecord{CommKey: key2, Count: 2, TotalWait: 0.01, MaxWait: 0.01}
+	// Records without a dependence rank never become edges.
+	key3 := key
+	key3.DepRank = -1
+	key3.Op = "mpi_isend"
+	p0.Comm[key3] = &prof.CommRecord{CommKey: key3, Count: 5}
+	p1 := mkProfile(1, np, g, []float64{0.1, 0.0})
+
+	pg, err := Build(g, []*prof.RankProfile{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := pg.Edges[EdgeFrom{VertexKey: mpiV.Key, Rank: 0}]
+	if len(edges) != 2 {
+		t.Fatalf("%d edges, want 2", len(edges))
+	}
+	// Sorted by TotalWait descending.
+	if edges[0].Op != "mpi_allreduce" || edges[0].TotalWait != 0.5 {
+		t.Errorf("dominant edge = %+v", edges[0])
+	}
+	if pg.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d", pg.NumEdges())
+	}
+
+	best := pg.BestEdge(mpiV.Key, 0, true, 1e-6)
+	if best == nil || best.Op != "mpi_allreduce" {
+		t.Errorf("BestEdge = %+v", best)
+	}
+	// Prune threshold above MaxWait: allreduce pruned, barrier pruned too
+	// (its max wait 0.01 < 0.05) -> nil.
+	if e := pg.BestEdge(mpiV.Key, 0, true, 0.5); e != nil {
+		t.Errorf("expected all edges pruned, got %+v", e)
+	}
+	// Unpruned returns the heaviest regardless.
+	if e := pg.BestEdge(mpiV.Key, 0, false, 0.5); e == nil || e.Op != "mpi_allreduce" {
+		t.Errorf("unpruned BestEdge = %+v", e)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	g := testGraph(t)
+	if _, err := Build(g, nil); err == nil {
+		t.Error("no profiles should error")
+	}
+	p0 := mkProfile(0, 2, g, []float64{0.1})
+	if _, err := Build(g, []*prof.RankProfile{p0}); err == nil {
+		t.Error("missing ranks should error")
+	}
+	bad := mkProfile(0, 3, g, []float64{0.1})
+	p1 := mkProfile(1, 2, g, []float64{0.1})
+	if _, err := Build(g, []*prof.RankProfile{bad, p1}); err == nil {
+		t.Error("inconsistent np should error")
+	}
+	oob := mkProfile(5, 2, g, []float64{0.1})
+	if _, err := Build(g, []*prof.RankProfile{p1, oob}); err == nil {
+		t.Error("rank out of range should error")
+	}
+}

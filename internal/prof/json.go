@@ -1,0 +1,107 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ProfileSet is the serialized output of one scalana-prof run: all rank
+// profiles for one app at one scale.
+type ProfileSet struct {
+	App      string         `json:"app"`
+	NP       int            `json:"np"`
+	Elapsed  float64        `json:"elapsed"`
+	Profiles []*RankProfile `json:"profiles"`
+}
+
+// rankProfileDTO flattens the maps for stable serialization.
+type rankProfileDTO struct {
+	Rank     int                  `json:"rank"`
+	NP       int                  `json:"np"`
+	Vertex   map[string]*PerfData `json:"vertex"`
+	Comm     []*CommRecord        `json:"comm"`
+	Indirect []*IndirectRecord    `json:"indirect"`
+}
+
+// MarshalJSON serializes with deterministic ordering.
+func (rp *RankProfile) MarshalJSON() ([]byte, error) {
+	dto := rankProfileDTO{Rank: rp.Rank, NP: rp.NP, Vertex: rp.Vertex}
+	for _, rec := range rp.Comm {
+		dto.Comm = append(dto.Comm, rec)
+	}
+	sort.Slice(dto.Comm, func(i, j int) bool { return commLess(dto.Comm[i], dto.Comm[j]) })
+	for _, rec := range rp.Indirect {
+		dto.Indirect = append(dto.Indirect, rec)
+	}
+	sort.Slice(dto.Indirect, func(i, j int) bool {
+		a, b := dto.Indirect[i], dto.Indirect[j]
+		if a.InstancePath != b.InstancePath {
+			return a.InstancePath < b.InstancePath
+		}
+		return a.Target < b.Target
+	})
+	return json.Marshal(dto)
+}
+
+// UnmarshalJSON restores the map form.
+func (rp *RankProfile) UnmarshalJSON(data []byte) error {
+	var dto rankProfileDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return err
+	}
+	rp.Rank = dto.Rank
+	rp.NP = dto.NP
+	rp.Vertex = dto.Vertex
+	if rp.Vertex == nil {
+		rp.Vertex = map[string]*PerfData{}
+	}
+	rp.Comm = map[CommKey]*CommRecord{}
+	for _, rec := range dto.Comm {
+		rp.Comm[rec.CommKey] = rec
+	}
+	rp.Indirect = map[string]*IndirectRecord{}
+	for _, rec := range dto.Indirect {
+		rp.Indirect[fmt.Sprintf("%s:%d#%s", rec.InstancePath, rec.Site, rec.Target)] = rec
+	}
+	return nil
+}
+
+func commLess(a, b *CommRecord) bool {
+	if a.VertexKey != b.VertexKey {
+		return a.VertexKey < b.VertexKey
+	}
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	if a.DepRank != b.DepRank {
+		return a.DepRank < b.DepRank
+	}
+	if a.DepVertex != b.DepVertex {
+		return a.DepVertex < b.DepVertex
+	}
+	return a.Bytes < b.Bytes
+}
+
+// Save writes the profile set to a JSON file.
+func (ps *ProfileSet) Save(path string) error {
+	data, err := json.MarshalIndent(ps, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadProfileSet reads a profile set written by Save.
+func LoadProfileSet(path string) (*ProfileSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ps ProfileSet
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return nil, fmt.Errorf("prof: parse %s: %w", path, err)
+	}
+	return &ps, nil
+}

@@ -1,0 +1,276 @@
+// Package prof implements ScalAna's runtime module (paper §III-B):
+// sampling-based performance profiling plus PMPI-style communication
+// dependence collection with random sampling-based instrumentation and
+// graph-guided compression. Its output, one RankProfile per process, is
+// what scalana-detect assembles into a Program Performance Graph.
+package prof
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scalana/internal/machine"
+	"scalana/internal/minilang"
+	"scalana/internal/mpisim"
+	"scalana/internal/psg"
+)
+
+// Config controls the profiler.
+type Config struct {
+	// SampleHz is the timer sampling frequency (paper evaluation: 200 Hz,
+	// matched to HPCToolkit for fairness).
+	SampleHz float64
+	// SampleCost is the virtual CPU cost of one sampling interrupt
+	// (signal delivery + unwind + counter read).
+	SampleCost float64
+	// CommSampleProb is the probability that one communication operation's
+	// parameters are recorded (random sampling-based instrumentation,
+	// paper §III-B2). 1.0 records every operation.
+	CommSampleProb float64
+	// CommRecordCost is the virtual CPU cost of recording one
+	// communication operation.
+	CommRecordCost float64
+	// Compress enables graph-guided communication compression: repeated
+	// operations with identical parameters collapse into one record.
+	// Disable only for the ablation benchmark.
+	Compress bool
+	// Seed seeds the per-rank instrumentation-sampling RNG.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's evaluation setup.
+func DefaultConfig() Config {
+	return Config{
+		SampleHz:       200,
+		SampleCost:     1.8e-6,
+		CommSampleProb: 1.0,
+		CommRecordCost: 0.25e-6,
+		Compress:       true,
+	}
+}
+
+// PerfData is the performance vector attached to one PSG vertex on one
+// rank (paper Fig. 6 shows Time/TOT_INS/TOT_LST on a vertex).
+type PerfData struct {
+	Samples int64
+	Time    float64 // Samples / SampleHz: sampled execution time
+	PMU     machine.Vec
+}
+
+// CommKey identifies one communication record after compression: the
+// PSG vertex plus the operation parameters. Repeated communications with
+// the same key collapse into a single record (paper §III-B2).
+type CommKey struct {
+	VertexKey  string
+	Op         string
+	DepRank    int
+	DepVertex  string
+	Tag        int
+	Bytes      float64
+	Collective bool
+}
+
+// CommRecord is one (possibly aggregated) communication dependence record.
+type CommRecord struct {
+	CommKey
+	Count     int64
+	TotalWait float64
+	MaxWait   float64
+}
+
+// IndirectRecord is one runtime-resolved indirect call (paper §III-B3).
+type IndirectRecord struct {
+	InstancePath string
+	Site         minilang.NodeID
+	Target       string
+	Count        int64
+}
+
+// RankProfile is the profiler output for one rank.
+type RankProfile struct {
+	Rank int
+	NP   int
+	// Vertex performance data keyed by stable vertex key.
+	Vertex map[string]*PerfData
+	// Comm holds the compressed communication dependence records.
+	Comm map[CommKey]*CommRecord
+	// Indirect holds runtime indirect-call resolutions.
+	Indirect map[string]*IndirectRecord
+	// Raw counts for storage accounting.
+	EventsSeen    int64
+	EventsSampled int64
+	SamplesTaken  int64
+}
+
+// StorageBytes returns the bytes this rank's profile occupies on disk,
+// for the storage-cost experiments (Table I, Fig. 11, Fig. 13). Sizes per
+// record reflect the binary layout scalana-prof writes: a vertex perf
+// entry is key hash + samples + 5 counters; a comm record is parameters +
+// counters; an indirect record is two hashes and a count.
+func (rp *RankProfile) StorageBytes() int64 {
+	const (
+		vertexEntry   = 8 + 8 + 8*int64(machine.NumCounters)
+		commEntry     = 8 + 4 + 4 + 8 + 4 + 8 + 8 + 8
+		indirectEntry = 8 + 8 + 8
+		header        = 64
+	)
+	return header +
+		int64(len(rp.Vertex))*vertexEntry +
+		int64(len(rp.Comm))*commEntry +
+		int64(len(rp.Indirect))*indirectEntry
+}
+
+// Profiler is the per-rank tool hook. It implements mpisim.Hook.
+type Profiler struct {
+	cfg     Config
+	graph   *psg.Graph
+	profile *RankProfile
+
+	period     float64
+	pendingPMU machine.Vec
+	rng        *rand.Rand
+
+	// requestConverter reproduces paper Fig. 5: request handle ->
+	// (source, tag) captured at MPI_Irecv, consumed at MPI_Wait.
+	requestConverter map[int]srcTag
+}
+
+type srcTag struct {
+	src int
+	tag int
+}
+
+// New creates the profiler hook for one rank.
+func New(cfg Config, graph *psg.Graph, rank, np int) *Profiler {
+	if cfg.SampleHz <= 0 {
+		cfg.SampleHz = DefaultConfig().SampleHz
+	}
+	return &Profiler{
+		cfg:   cfg,
+		graph: graph,
+		profile: &RankProfile{
+			Rank:     rank,
+			NP:       np,
+			Vertex:   map[string]*PerfData{},
+			Comm:     map[CommKey]*CommRecord{},
+			Indirect: map[string]*IndirectRecord{},
+		},
+		period:           1 / cfg.SampleHz,
+		rng:              rand.New(rand.NewSource(cfg.Seed*31 + int64(rank)*2654435761 + 17)),
+		requestConverter: map[int]srcTag{},
+	}
+}
+
+// Profile returns the collected rank profile.
+func (pr *Profiler) Profile() *RankProfile { return pr.profile }
+
+func (pr *Profiler) perf(key string) *PerfData {
+	pd := pr.profile.Vertex[key]
+	if pd == nil {
+		pd = &PerfData{}
+		pr.profile.Vertex[key] = pd
+	}
+	return pd
+}
+
+func ctxKey(ctx any) string {
+	if v, ok := ctx.(*psg.Vertex); ok && v != nil {
+		return v.Key
+	}
+	return "root"
+}
+
+// Advance implements the timer sampler. PMU deltas accumulate in a pending
+// vector; each period crossing "fires an interrupt" that attributes the
+// pending counters and one sample period of time to the current vertex —
+// the same attribution PAPI overflow sampling performs via the call stack.
+func (pr *Profiler) Advance(p *mpisim.Proc, from, to float64, kind mpisim.AdvanceKind, ctx any, pmu machine.Vec) float64 {
+	pr.pendingPMU.Add(pmu)
+	crossings := int64(to/pr.period) - int64(from/pr.period)
+	if crossings <= 0 {
+		return 0
+	}
+	pd := pr.perf(ctxKey(ctx))
+	pd.Samples += crossings
+	pd.Time += float64(crossings) * pr.period
+	pd.PMU.Add(pr.pendingPMU)
+	pr.pendingPMU = machine.Vec{}
+	pr.profile.SamplesTaken += crossings
+	if kind == mpisim.AdvPerturb {
+		return 0
+	}
+	return float64(crossings) * pr.cfg.SampleCost
+}
+
+// MPIEvent implements the PMPI interposition layer.
+func (pr *Profiler) MPIEvent(p *mpisim.Proc, ev *mpisim.Event) float64 {
+	pr.profile.EventsSeen++
+
+	// Fig. 5: capture (source, tag) at Irecv; resolve at Wait. When the
+	// posted source was a wildcard, the completed event's Peer plays the
+	// role of status.MPI_SOURCE.
+	switch ev.Kind {
+	case mpisim.EvIrecv:
+		pr.requestConverter[ev.ReqID] = srcTag{src: ev.Peer, tag: ev.Tag}
+		return 0 // dependence is recorded at completion time
+	case mpisim.EvIsend:
+		return 0
+	case mpisim.EvWait:
+		if st, ok := pr.requestConverter[ev.ReqID]; ok {
+			delete(pr.requestConverter, ev.ReqID)
+			if st.src == mpisim.AnySource {
+				// Source was uncertain; use the completed status.
+				st.src = ev.Peer
+			}
+		}
+	}
+
+	// Random sampling-based instrumentation (paper §III-B2): record the
+	// parameters of this operation with probability CommSampleProb.
+	if pr.cfg.CommSampleProb < 1 && pr.rng.Float64() >= pr.cfg.CommSampleProb {
+		return 0
+	}
+	pr.profile.EventsSampled++
+
+	key := CommKey{
+		VertexKey:  ctxKey(ev.Ctx),
+		Op:         ev.Op,
+		DepRank:    ev.DepRank,
+		DepVertex:  ctxKey(ev.DepCtx),
+		Tag:        ev.Tag,
+		Bytes:      ev.Bytes,
+		Collective: ev.Collective,
+	}
+	if ev.DepCtx == nil {
+		key.DepVertex = ""
+	}
+	if !pr.cfg.Compress {
+		// Without graph-guided compression every record is unique.
+		key.Tag = int(pr.profile.EventsSampled)<<8 | key.Tag
+	}
+	rec := pr.profile.Comm[key]
+	if rec == nil {
+		rec = &CommRecord{CommKey: key}
+		pr.profile.Comm[key] = rec
+	}
+	rec.Count++
+	rec.TotalWait += ev.Wait
+	if ev.Wait > rec.MaxWait {
+		rec.MaxWait = ev.Wait
+	}
+	return pr.cfg.CommRecordCost
+}
+
+// ObserveIndirect records a runtime indirect-call resolution; wire it to
+// interp.Runner.OnIndirect.
+func (pr *Profiler) ObserveIndirect(rank int, inst *psg.Instance, site minilang.NodeID, target string) {
+	key := fmt.Sprintf("%s:%d#%s", inst.Path, site, target)
+	rec := pr.profile.Indirect[key]
+	if rec == nil {
+		rec = &IndirectRecord{InstancePath: inst.Path, Site: site, Target: target}
+		pr.profile.Indirect[key] = rec
+	}
+	rec.Count++
+}
+
+var _ mpisim.Hook = (*Profiler)(nil)

@@ -1,0 +1,149 @@
+package psg
+
+import "scalana/internal/minilang"
+
+// Graph contraction (paper §III-A "PSG Contraction"): communication is
+// normally the main scalability bottleneck, so every MPI invocation and
+// its enclosing control structures are preserved. Structures without MPI
+// are reduced: branches collapse (their loops are hoisted and kept), loops
+// nested deeper than MaxLoopDepth flatten, and consecutive Comp vertices
+// merge into one.
+
+// containsComm reports whether v's subtree contains an MPI vertex or a
+// Call vertex (indirect/recursive call sites may reach MPI at run time,
+// so they are conservatively preserved).
+func containsComm(v *Vertex, memo map[*Vertex]bool) bool {
+	if r, ok := memo[v]; ok {
+		return r
+	}
+	r := v.Kind == KindMPI || v.Kind == KindCall
+	if !r {
+		for _, c := range v.Children {
+			if containsComm(c, memo) {
+				r = true
+				break
+			}
+		}
+	}
+	memo[v] = r
+	return r
+}
+
+// contractSubtree contracts the subtree rooted at v in place. baseDepth is
+// the number of Loop vertices enclosing v (0 for the root). After the
+// transformation, every instance's node attribution is redirected to the
+// surviving vertices.
+func (g *Graph) contractSubtree(v *Vertex, baseDepth int) {
+	memo := map[*Vertex]bool{}
+	replaced := map[*Vertex]*Vertex{}
+	g.transformChildren(v, baseDepth, memo, replaced)
+	if len(replaced) == 0 {
+		return
+	}
+	chase := func(x *Vertex) *Vertex {
+		for {
+			r, ok := replaced[x]
+			if !ok {
+				return x
+			}
+			x = r
+		}
+	}
+	for _, inst := range g.instances {
+		for k, vx := range inst.vertexOf {
+			inst.vertexOf[k] = chase(vx)
+		}
+	}
+}
+
+func (g *Graph) transformChildren(v *Vertex, loopDepth int, memo map[*Vertex]bool, replaced map[*Vertex]*Vertex) {
+	process := func(children []*Vertex) []*Vertex {
+		var kept []*Vertex
+		for _, c := range children {
+			switch c.Kind {
+			case KindLoop:
+				if !containsComm(c, memo) && loopDepth+1 > g.Opts.MaxLoopDepth {
+					kept = append(kept, g.flatten(c, replaced))
+					continue
+				}
+				g.transformChildren(c, loopDepth+1, memo, replaced)
+				kept = append(kept, c)
+			case KindBranch:
+				if !containsComm(c, memo) {
+					// A branch without MPI is not preserved, but loops
+					// inside it are ("we only preserve Loop because
+					// computation produced by loop iterations may dominate
+					// performance"): contract the branch body, then hoist
+					// its children in place of the branch. The branch's own
+					// bookkeeping collapses into a Comp vertex.
+					g.transformChildren(c, loopDepth, memo, replaced)
+					comp := &Vertex{
+						Kind:        KindComp,
+						Name:        "comp",
+						Pos:         c.Pos,
+						Inst:        c.Inst,
+						SiteNode:    c.SiteNode,
+						Key:         c.Key,
+						MergedNodes: append([]minilang.NodeID{c.SiteNode}, c.MergedNodes...),
+					}
+					replaced[c] = comp
+					kept = append(kept, comp)
+					kept = append(kept, c.Children...)
+					continue
+				}
+				g.transformChildren(c, loopDepth, memo, replaced)
+				kept = append(kept, c)
+			default:
+				kept = append(kept, c)
+			}
+		}
+		// Merge consecutive Comp vertices (paper: "merge continuous
+		// vertices into a larger vertex").
+		var merged []*Vertex
+		for _, c := range kept {
+			if c.Kind == KindComp && len(merged) > 0 && merged[len(merged)-1].Kind == KindComp {
+				last := merged[len(merged)-1]
+				last.MergedNodes = append(last.MergedNodes, c.MergedNodes...)
+				replaced[c] = last
+				continue
+			}
+			c.Parent = v
+			merged = append(merged, c)
+		}
+		return merged
+	}
+
+	if v.Kind == KindBranch {
+		// Never merge Comp vertices across the then/else boundary.
+		then := process(v.Children[:v.ElseStart])
+		els := process(v.Children[v.ElseStart:])
+		v.Children = append(then, els...)
+		v.ElseStart = len(then)
+	} else {
+		v.Children = process(v.Children)
+		v.ElseStart = len(v.Children)
+	}
+}
+
+// flatten replaces a structure vertex (and its whole subtree) by a single
+// Comp vertex carrying the structure's key and source position.
+func (g *Graph) flatten(c *Vertex, replaced map[*Vertex]*Vertex) *Vertex {
+	comp := &Vertex{
+		Kind:     KindComp,
+		Name:     "comp",
+		Pos:      c.Pos,
+		Inst:     c.Inst,
+		SiteNode: c.SiteNode,
+		Key:      c.Key,
+	}
+	var walk func(x *Vertex)
+	walk = func(x *Vertex) {
+		replaced[x] = comp
+		comp.MergedNodes = append(comp.MergedNodes, x.MergedNodes...)
+		for _, ch := range x.Children {
+			walk(ch)
+		}
+	}
+	walk(c)
+	return comp
+}

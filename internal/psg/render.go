@@ -1,0 +1,48 @@
+package psg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render returns an ASCII drawing of the PSG tree, used by scalana-static,
+// the viewer, and the Fig. 4 experiment. Execution-order edges are implied
+// top-to-bottom among siblings; indentation shows control dependence.
+func (g *Graph) Render() string {
+	var sb strings.Builder
+	g.renderVertex(&sb, g.Root, 0)
+	return sb.String()
+}
+
+func (g *Graph) renderVertex(sb *strings.Builder, v *Vertex, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch v.Kind {
+	case KindRoot:
+		fmt.Fprintf(sb, "%sRoot\n", indent)
+	case KindMPI:
+		fmt.Fprintf(sb, "%sMPI %s (%s:%d)\n", indent, v.Name, v.Pos.File, v.Pos.Line)
+	case KindComp:
+		fmt.Fprintf(sb, "%sComp (%s:%d, %d stmts)\n", indent, v.Pos.File, v.Pos.Line, len(v.MergedNodes))
+	case KindLoop:
+		fmt.Fprintf(sb, "%sLoop (%s:%d)\n", indent, v.Pos.File, v.Pos.Line)
+	case KindBranch:
+		fmt.Fprintf(sb, "%sBranch (%s:%d)\n", indent, v.Pos.File, v.Pos.Line)
+	case KindCall:
+		fmt.Fprintf(sb, "%sCall %s (%s:%d)\n", indent, v.Name, v.Pos.File, v.Pos.Line)
+	}
+	if v.Kind == KindBranch {
+		for i, c := range v.Children {
+			if i == 0 && v.ElseStart > 0 {
+				fmt.Fprintf(sb, "%s then:\n", indent)
+			}
+			if i == v.ElseStart {
+				fmt.Fprintf(sb, "%s else:\n", indent)
+			}
+			g.renderVertex(sb, c, depth+1)
+		}
+		return
+	}
+	for _, c := range v.Children {
+		g.renderVertex(sb, c, depth+1)
+	}
+}

@@ -1,0 +1,85 @@
+package psg
+
+import (
+	"fmt"
+
+	"scalana/internal/minilang"
+)
+
+// ResolveIndirect materializes the PSG subtree for an indirect call
+// observed at run time (paper §III-B3: "collect the calling information of
+// indirect calls at runtime and fill such information into the graph").
+//
+// inst/site identify the Call vertex of the indirect call site; target is
+// the function actually invoked. The first call for a (site, target) pair
+// inlines the target's local PSG underneath the Call vertex (applying the
+// usual contraction) and re-finalizes vertex IDs; subsequent calls return
+// the cached instance. Safe for concurrent use by all simulated ranks.
+func (g *Graph) ResolveIndirect(inst *Instance, site minilang.NodeID, target string) (*Instance, error) {
+	g.mu.RLock()
+	if m := inst.indirect[site]; m != nil {
+		if child, ok := m[target]; ok {
+			g.mu.RUnlock()
+			return child, nil
+		}
+	}
+	g.mu.RUnlock()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m := inst.indirect[site]; m != nil { // re-check under write lock
+		if child, ok := m[target]; ok {
+			return child, nil
+		}
+	}
+
+	fn := g.Prog.Func(target)
+	if fn == nil {
+		return nil, fmt.Errorf("psg: indirect call to unknown function %q", target)
+	}
+	cv := inst.siteVertex[site]
+	if cv == nil {
+		return nil, fmt.Errorf("psg: node %d in %s is not an indirect call site", site, inst.Path)
+	}
+
+	// Recursion through function pointers: reuse the active ancestor
+	// instance, forming a cycle like direct recursion does.
+	for p := inst; p != nil; p = g.parents[p] {
+		if p.Fn != nil && p.Fn.Name == target {
+			g.rememberIndirect(inst, site, target, p)
+			return p, nil
+		}
+	}
+
+	child := g.newInstance(inst, fn, fmt.Sprintf("%s/%d@%s", inst.Path, site, target))
+	b := &builder{g: g}
+	// Seed the inlining stack with the dynamic ancestry so that direct
+	// recursion inside the materialized subtree is still detected.
+	for p := inst; p != nil; p = g.parents[p] {
+		if p.Fn != nil {
+			b.stack = append(b.stack, stackEntry{name: p.Fn.Name, inst: p})
+		}
+	}
+	b.stack = append(b.stack, stackEntry{name: target, inst: child})
+	b.walkBlock(child, fn.Body, cv)
+	if g.Opts.Contract {
+		g.contractSubtree(cv, cv.LoopDepth())
+	}
+	g.rememberIndirect(inst, site, target, child)
+	g.finalizeLocked()
+	return child, nil
+}
+
+func (g *Graph) rememberIndirect(inst *Instance, site minilang.NodeID, target string, child *Instance) {
+	m := inst.indirect[site]
+	if m == nil {
+		m = map[string]*Instance{}
+		inst.indirect[site] = m
+	}
+	m[target] = child
+}
+
+// IndirectTargets reports the materialized targets of an indirect site.
+func (in *Instance) IndirectTargets(site minilang.NodeID) map[string]*Instance {
+	return in.indirect[site]
+}

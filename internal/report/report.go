@@ -1,0 +1,138 @@
+// Package report renders experiment outputs as aligned text tables, bar
+// charts, and series — the textual equivalents of the paper's tables and
+// figures, emitted by scalana-bench and the bench harness.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders an aligned text table.
+func Table(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// Bars renders a horizontal bar chart with one bar per label, scaled to
+// the maximum value.
+func Bars(title string, labels []string, values []float64, format func(float64) string) string {
+	if format == nil {
+		format = func(v float64) string { return fmt.Sprintf("%.3g", v) }
+	}
+	const width = 46
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(v / maxV * width))
+		}
+		if n == 0 && v > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "  %-*s |%-*s| %s\n", maxL, labels[i], width, strings.Repeat("#", n), format(v))
+	}
+	return sb.String()
+}
+
+// Series renders multiple named lines sampled at shared x positions.
+func Series(title, xlabel string, xs []float64, lines []NamedSeries) string {
+	headers := []string{xlabel}
+	for _, l := range lines {
+		headers = append(headers, l.Name)
+	}
+	var rows [][]string
+	for i, x := range xs {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, l := range lines {
+			if i < len(l.Values) {
+				row = append(row, fmt.Sprintf("%.4g", l.Values[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return Table(title, headers, rows)
+}
+
+// NamedSeries is one line of a Series rendering.
+type NamedSeries struct {
+	Name   string
+	Values []float64
+}
+
+// Bytes formats a byte count with binary units.
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Pct formats a percentage.
+func Pct(x float64) string { return fmt.Sprintf("%.2f%%", x) }
+
+// Seconds formats a duration given in seconds with sensible units.
+func Seconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.3f s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3f ms", s*1e3)
+	default:
+		return fmt.Sprintf("%.1f us", s*1e6)
+	}
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table("title", []string{"A", "Blong"}, [][]string{
+		{"x", "1"},
+		{"ylonger", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// All data lines must share the header's column start for column 2.
+	idx := strings.Index(lines[1], "Blong")
+	for _, l := range lines[3:] {
+		if len(l) <= idx {
+			t.Errorf("short row %q", l)
+			continue
+		}
+		if l[idx] == ' ' {
+			t.Errorf("column 2 misaligned in %q", l)
+		}
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator missing: %q", lines[2])
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("chart", []string{"a", "bb"}, []float64{10, 5}, nil)
+	if !strings.Contains(out, "chart") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	hashes := func(s string) int { return strings.Count(s, "#") }
+	if hashes(lines[1]) != 2*hashes(lines[2]) {
+		t.Errorf("bar lengths not proportional: %q vs %q", lines[1], lines[2])
+	}
+	// Tiny non-zero values still show one mark.
+	out = Bars("", []string{"x", "y"}, []float64{1000, 0.0001}, nil)
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "y ") && !strings.Contains(l, "#") {
+			t.Error("tiny value lost its bar")
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("s", "np", []float64{4, 8}, []NamedSeries{
+		{Name: "a", Values: []float64{1, 2}},
+		{Name: "b", Values: []float64{3}},
+	})
+	if !strings.Contains(out, "np") || !strings.Contains(out, "a") {
+		t.Error("headers missing")
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("missing value placeholder absent")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:             "512 B",
+		2048:            "2.00 KB",
+		3 << 20:         "3.00 MB",
+		5 << 30:         "5.00 GB",
+		(3 << 20) + 512: "3.00 MB",
+	}
+	for n, want := range cases {
+		if got := Bytes(n); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestPctAndSeconds(t *testing.T) {
+	if Pct(3.456) != "3.46%" {
+		t.Errorf("Pct = %q", Pct(3.456))
+	}
+	if Seconds(2.5) != "2.500 s" {
+		t.Errorf("Seconds = %q", Seconds(2.5))
+	}
+	if Seconds(0.0025) != "2.500 ms" {
+		t.Errorf("ms = %q", Seconds(0.0025))
+	}
+	if Seconds(2.5e-6) != "2.5 us" {
+		t.Errorf("us = %q", Seconds(2.5e-6))
+	}
+}

@@ -1,0 +1,230 @@
+// Package trace implements the tracing-based baseline tool the paper
+// compares against (Scalasca): every MPI event and every enter/exit of a
+// program region is logged as a timestamped record. Storage is counted in
+// actual bytes of the OTF2-like binary layout, and each record charges the
+// per-event logging overhead — the two costs that make tracing prohibitive
+// at scale (paper Table I: 6.77 GB and 25.3% on NPB-CG at 128 ranks).
+//
+// The package also implements a simplified Böhme-style wait-state analysis
+// (paper ref. [64]): a backward replay over the collected timelines that
+// attributes waiting time to the remote code regions that caused it.
+package trace
+
+import (
+	"sort"
+
+	"scalana/internal/machine"
+	"scalana/internal/mpisim"
+	"scalana/internal/psg"
+)
+
+// Config controls the tracer.
+type Config struct {
+	// EventCost is the virtual CPU cost of logging one trace record.
+	EventCost float64
+	// RegionGranularity adds enter/exit records around every attribution
+	// context switch, like compiler-instrumented Score-P regions.
+	RegionGranularity bool
+}
+
+// DefaultConfig matches a Score-P/Scalasca-like setup.
+func DefaultConfig() Config {
+	return Config{EventCost: 1.6e-6, RegionGranularity: true}
+}
+
+// Record is one trace record.
+type Record struct {
+	T      float64
+	Kind   RecordKind
+	Op     string
+	Vertex string
+	Peer   int
+	Tag    int
+	Bytes  float64
+	Wait   float64
+	Dep    int // rank that satisfied the dependence, -1 if none
+}
+
+// RecordKind classifies trace records.
+type RecordKind int
+
+// Record kinds.
+const (
+	RecEnter RecordKind = iota
+	RecExit
+	RecComm
+)
+
+// recordBytes is the on-disk size of one record in the OTF2-like binary
+// layout: timestamp + kind + region/op id + peer + tag + size + 2 floats.
+const recordBytes = 8 + 1 + 4 + 4 + 4 + 8 + 8 + 8
+
+// RankTrace is one rank's trace buffer.
+type RankTrace struct {
+	Rank    int
+	Records []Record
+}
+
+// StorageBytes is the rank's trace size on disk.
+func (rt *RankTrace) StorageBytes() int64 {
+	return int64(len(rt.Records)) * recordBytes
+}
+
+// Tracer is the per-rank hook implementing mpisim.Hook.
+type Tracer struct {
+	cfg     Config
+	trace   *RankTrace
+	lastCtx any
+}
+
+// New creates a tracer for one rank.
+func New(cfg Config, rank int) *Tracer {
+	if cfg.EventCost == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Tracer{cfg: cfg, trace: &RankTrace{Rank: rank}}
+}
+
+// Trace returns the collected records.
+func (tr *Tracer) Trace() *RankTrace { return tr.trace }
+
+func vertexKey(ctx any) string {
+	if v, ok := ctx.(*psg.Vertex); ok && v != nil {
+		return v.Key
+	}
+	return "root"
+}
+
+// Advance logs region enter/exit transitions.
+func (tr *Tracer) Advance(p *mpisim.Proc, from, to float64, kind mpisim.AdvanceKind, ctx any, pmu machine.Vec) float64 {
+	if !tr.cfg.RegionGranularity || kind == mpisim.AdvPerturb {
+		return 0
+	}
+	if ctx == tr.lastCtx {
+		return 0
+	}
+	var owed float64
+	if tr.lastCtx != nil {
+		tr.trace.Records = append(tr.trace.Records, Record{T: from, Kind: RecExit, Vertex: vertexKey(tr.lastCtx), Peer: -1, Dep: -1})
+		owed += tr.cfg.EventCost
+	}
+	tr.trace.Records = append(tr.trace.Records, Record{T: from, Kind: RecEnter, Vertex: vertexKey(ctx), Peer: -1, Dep: -1})
+	owed += tr.cfg.EventCost
+	tr.lastCtx = ctx
+	return owed
+}
+
+// MPIEvent logs one communication record.
+func (tr *Tracer) MPIEvent(p *mpisim.Proc, ev *mpisim.Event) float64 {
+	tr.trace.Records = append(tr.trace.Records, Record{
+		T:      ev.TEnd,
+		Kind:   RecComm,
+		Op:     ev.Op,
+		Vertex: vertexKey(ev.Ctx),
+		Peer:   ev.Peer,
+		Tag:    ev.Tag,
+		Bytes:  ev.Bytes,
+		Wait:   ev.Wait,
+		Dep:    ev.DepRank,
+	})
+	return tr.cfg.EventCost
+}
+
+var _ mpisim.Hook = (*Tracer)(nil)
+
+// WaitState is an aggregated wait state found by post-mortem analysis.
+type WaitState struct {
+	Vertex    string
+	TotalWait float64
+	Count     int64
+	// CauseRanks histograms which remote ranks caused the waiting.
+	CauseRanks map[int]float64
+}
+
+// AnalyzeWaitStates scans all rank traces and aggregates waiting time per
+// code region, the first stage of Scalasca's trace analysis.
+func AnalyzeWaitStates(traces []*RankTrace) []WaitState {
+	agg := map[string]*WaitState{}
+	for _, rt := range traces {
+		for _, rec := range rt.Records {
+			if rec.Kind != RecComm || rec.Wait <= 0 {
+				continue
+			}
+			ws := agg[rec.Vertex]
+			if ws == nil {
+				ws = &WaitState{Vertex: rec.Vertex, CauseRanks: map[int]float64{}}
+				agg[rec.Vertex] = ws
+			}
+			ws.TotalWait += rec.Wait
+			ws.Count++
+			if rec.Dep >= 0 {
+				ws.CauseRanks[rec.Dep] += rec.Wait
+			}
+		}
+	}
+	out := make([]WaitState, 0, len(agg))
+	for _, ws := range agg {
+		out = append(out, *ws)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalWait != out[j].TotalWait {
+			return out[i].TotalWait > out[j].TotalWait
+		}
+		return out[i].Vertex < out[j].Vertex
+	})
+	return out
+}
+
+// DelayChainStep is one hop of a backward replay.
+type DelayChainStep struct {
+	Rank   int
+	Vertex string
+	Wait   float64
+}
+
+// BackwardReplay follows the largest wait state backwards across ranks,
+// hopping to the causing rank's latest preceding communication record,
+// like Böhme's backward trace replay. It stops after maxHops or when the
+// chain reaches a record with no remote cause.
+func BackwardReplay(traces []*RankTrace, maxHops int) []DelayChainStep {
+	byRank := map[int]*RankTrace{}
+	for _, rt := range traces {
+		byRank[rt.Rank] = rt
+	}
+	// Seed: globally largest single wait.
+	var cur *Record
+	var curRank int
+	for _, rt := range traces {
+		for i := range rt.Records {
+			r := &rt.Records[i]
+			if r.Kind == RecComm && (cur == nil || r.Wait > cur.Wait) {
+				cur = r
+				curRank = rt.Rank
+			}
+		}
+	}
+	var chain []DelayChainStep
+	for hop := 0; cur != nil && hop < maxHops; hop++ {
+		chain = append(chain, DelayChainStep{Rank: curRank, Vertex: cur.Vertex, Wait: cur.Wait})
+		if cur.Dep < 0 || cur.Wait <= 0 {
+			break
+		}
+		dep := byRank[cur.Dep]
+		if dep == nil {
+			break
+		}
+		// Find the causing rank's last communication record before the
+		// wait completed.
+		t := cur.T
+		cur = nil
+		for i := len(dep.Records) - 1; i >= 0; i-- {
+			r := &dep.Records[i]
+			if r.Kind == RecComm && r.T < t {
+				cur = r
+				curRank = dep.Rank
+				break
+			}
+		}
+	}
+	return chain
+}

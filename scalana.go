@@ -1,0 +1,265 @@
+// Package scalana is a Go reproduction of ScalAna (Jin et al., SC 2020):
+// automated scaling-loss detection for message-passing programs with graph
+// analysis at profiling-level overhead.
+//
+// The pipeline mirrors the paper's four user steps (§V):
+//
+//	prog, graph, _ := scalana.Compile(app)            // scalana-static
+//	out, _ := scalana.Run(scalana.RunConfig{...})     // scalana-prof
+//	runs, _ := scalana.Sweep(app, []int{4,...,128})   // one run per scale
+//	report, _ := scalana.DetectScalingLoss(runs, cfg) // scalana-detect
+//
+// Compile builds the Program Structure Graph from MiniMP source with
+// intra-/inter-procedural analysis and contraction. Run executes the
+// program on the deterministic MPI simulator with the selected measurement
+// tool attached (the ScalAna profiler, or the tracing/profiling baselines
+// used for comparison). DetectScalingLoss assembles Program Performance
+// Graphs, finds non-scalable and abnormal vertices, and runs backtracking
+// root-cause detection.
+package scalana
+
+import (
+	"fmt"
+	"io"
+
+	"scalana/internal/apps"
+	"scalana/internal/detect"
+	"scalana/internal/hpctk"
+	"scalana/internal/interp"
+	"scalana/internal/minilang"
+	"scalana/internal/mpisim"
+	"scalana/internal/ppg"
+	"scalana/internal/prof"
+	"scalana/internal/psg"
+	"scalana/internal/trace"
+)
+
+// Tool selects the measurement tool attached to a run.
+type Tool int
+
+// Available tools.
+const (
+	// ToolNone runs the application bare (the overhead baseline).
+	ToolNone Tool = iota
+	// ToolScalAna attaches the graph-based profiler (paper's tool).
+	ToolScalAna
+	// ToolTracer attaches the Scalasca-like full tracer.
+	ToolTracer
+	// ToolCallPath attaches the HPCToolkit-like call-path profiler.
+	ToolCallPath
+)
+
+func (t Tool) String() string {
+	switch t {
+	case ToolNone:
+		return "none"
+	case ToolScalAna:
+		return "ScalAna"
+	case ToolTracer:
+		return "Scalasca-like tracer"
+	case ToolCallPath:
+		return "HPCToolkit-like profiler"
+	}
+	return "unknown"
+}
+
+// App re-exports the workload type.
+type App = apps.App
+
+// GetApp looks up a registered workload (NPB kernels, zeusmp, sst,
+// nekbone, and their -opt variants).
+func GetApp(name string) *App { return apps.Get(name) }
+
+// AppNames lists all registered workloads.
+func AppNames() []string { return apps.Names() }
+
+// EvaluationNames lists the programs of the paper's evaluation in Table II
+// order: the NPB suite plus SST, Nekbone, and Zeus-MP.
+func EvaluationNames() []string { return apps.EvaluationNames() }
+
+// Compile parses the app and builds its contracted PSG (the
+// scalana-static step).
+func Compile(app *App) (*minilang.Program, *psg.Graph, error) {
+	return CompileOptions(app, psg.DefaultOptions())
+}
+
+// CompileOptions is Compile with explicit PSG options.
+func CompileOptions(app *App, opts psg.Options) (*minilang.Program, *psg.Graph, error) {
+	prog, err := app.Parse()
+	if err != nil {
+		return nil, nil, fmt.Errorf("scalana: parse %s: %w", app.Name, err)
+	}
+	graph, err := psg.Build(prog, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scalana: build PSG for %s: %w", app.Name, err)
+	}
+	return prog, graph, nil
+}
+
+// RunConfig configures one profiled execution.
+type RunConfig struct {
+	App  *App
+	NP   int
+	Tool Tool
+	// Prof configures the ScalAna profiler (zero value = paper defaults).
+	Prof prof.Config
+	// Trace configures the tracer baseline (zero value = defaults).
+	Trace trace.Config
+	// CallPath configures the call-path profiler baseline.
+	CallPath hpctk.Config
+	// Seed makes runs reproducible; runs with equal seeds are identical.
+	Seed int64
+	// Stdout receives application print() output (nil discards).
+	Stdout io.Writer
+	// PSGOptions overrides contraction settings (zero value = defaults).
+	PSGOptions psg.Options
+}
+
+// RunOutput is the result of one execution.
+type RunOutput struct {
+	App    *App
+	NP     int
+	Tool   Tool
+	Result mpisim.RunResult
+	Graph  *psg.Graph
+	// Profiles holds per-rank ScalAna profiles (ToolScalAna only).
+	Profiles []*prof.RankProfile
+	// Traces holds per-rank traces (ToolTracer only).
+	Traces []*trace.RankTrace
+	// CtxProfiles holds per-rank call-path profiles (ToolCallPath only).
+	CtxProfiles []*hpctk.RankProfile
+	// PPG is the assembled Program Performance Graph (ToolScalAna only).
+	PPG *ppg.Graph
+	// StorageBytes is the tool's total measurement data size.
+	StorageBytes int64
+}
+
+// Run executes the app at one scale with the configured tool.
+func Run(cfg RunConfig) (*RunOutput, error) {
+	if cfg.App == nil {
+		return nil, fmt.Errorf("scalana: RunConfig.App is nil")
+	}
+	if cfg.NP < cfg.App.MinNP {
+		return nil, fmt.Errorf("scalana: %s requires at least %d ranks, got %d", cfg.App.Name, cfg.App.MinNP, cfg.NP)
+	}
+	opts := cfg.PSGOptions
+	if opts.MaxLoopDepth == 0 && !opts.Contract {
+		opts = psg.DefaultOptions()
+	}
+	prog, graph, err := CompileOptions(cfg.App, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &RunOutput{App: cfg.App, NP: cfg.NP, Tool: cfg.Tool, Graph: graph}
+	var profilers []*prof.Profiler
+	var tracers []*trace.Tracer
+	var ctxProfs []*hpctk.Profiler
+
+	wcfg := mpisim.Config{NP: cfg.NP, Seed: cfg.Seed}
+	if cfg.App.CoreConfig != nil {
+		wcfg.Core = cfg.App.CoreConfig(cfg.NP)
+	}
+	switch cfg.Tool {
+	case ToolScalAna:
+		pc := cfg.Prof
+		if pc.SampleHz == 0 {
+			pc = prof.DefaultConfig()
+			pc.Seed = cfg.Seed
+		}
+		profilers = make([]*prof.Profiler, cfg.NP)
+		wcfg.HookFactory = func(rank int) []mpisim.Hook {
+			pr := prof.New(pc, graph, rank, cfg.NP)
+			profilers[rank] = pr
+			return []mpisim.Hook{pr}
+		}
+	case ToolTracer:
+		tc := cfg.Trace
+		if tc.EventCost == 0 {
+			tc = trace.DefaultConfig()
+		}
+		tracers = make([]*trace.Tracer, cfg.NP)
+		wcfg.HookFactory = func(rank int) []mpisim.Hook {
+			tr := trace.New(tc, rank)
+			tracers[rank] = tr
+			return []mpisim.Hook{tr}
+		}
+	case ToolCallPath:
+		hc := cfg.CallPath
+		if hc.SampleHz == 0 {
+			hc = hpctk.DefaultConfig()
+		}
+		ctxProfs = make([]*hpctk.Profiler, cfg.NP)
+		wcfg.HookFactory = func(rank int) []mpisim.Hook {
+			pr := hpctk.New(hc, rank)
+			ctxProfs[rank] = pr
+			return []mpisim.Hook{pr}
+		}
+	}
+
+	runner := interp.NewRunner(prog, graph)
+	runner.Stdout = cfg.Stdout
+	if cfg.Tool == ToolScalAna {
+		runner.OnIndirect = func(rank int, inst *psg.Instance, site minilang.NodeID, target string) {
+			profilers[rank].ObserveIndirect(rank, inst, site, target)
+		}
+	}
+
+	world := mpisim.NewWorld(wcfg)
+	res, err := world.Run(runner.Execute)
+	if err != nil {
+		return nil, fmt.Errorf("scalana: run %s np=%d: %w", cfg.App.Name, cfg.NP, err)
+	}
+	out.Result = res
+
+	switch cfg.Tool {
+	case ToolScalAna:
+		out.Profiles = make([]*prof.RankProfile, cfg.NP)
+		for r, pr := range profilers {
+			out.Profiles[r] = pr.Profile()
+			out.StorageBytes += out.Profiles[r].StorageBytes()
+		}
+		pg, err := ppg.Build(graph, out.Profiles)
+		if err != nil {
+			return nil, fmt.Errorf("scalana: assemble PPG: %w", err)
+		}
+		out.PPG = pg
+	case ToolTracer:
+		out.Traces = make([]*trace.RankTrace, cfg.NP)
+		for r, tr := range tracers {
+			out.Traces[r] = tr.Trace()
+			out.StorageBytes += out.Traces[r].StorageBytes()
+		}
+	case ToolCallPath:
+		out.CtxProfiles = make([]*hpctk.RankProfile, cfg.NP)
+		for r, pr := range ctxProfs {
+			out.CtxProfiles[r] = pr.Profile()
+			out.StorageBytes += out.CtxProfiles[r].StorageBytes()
+		}
+	}
+	return out, nil
+}
+
+// Sweep profiles the app with ScalAna at each scale in nps and returns the
+// per-scale runs ready for DetectScalingLoss. profCfg zero value uses
+// paper defaults.
+func Sweep(app *App, nps []int, profCfg prof.Config) ([]detect.ScaleRun, error) {
+	var runs []detect.ScaleRun
+	for _, np := range nps {
+		out, err := Run(RunConfig{App: app, NP: np, Tool: ToolScalAna, Prof: profCfg})
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, detect.ScaleRun{NP: np, PPG: out.PPG})
+	}
+	return runs, nil
+}
+
+// DetectScalingLoss runs problematic-vertex detection and backtracking
+// root-cause analysis over profiled runs at multiple scales.
+func DetectScalingLoss(runs []detect.ScaleRun, cfg detect.Config) (*detect.Report, error) {
+	if cfg == (detect.Config{}) {
+		cfg = detect.DefaultConfig()
+	}
+	return detect.Detect(runs, cfg)
+}
