@@ -2,10 +2,16 @@
 //
 // Usage:
 //
-//	scalana-bench -list            # show all experiments
-//	scalana-bench -exp table1      # one experiment
-//	scalana-bench -all             # everything, in paper order
-//	scalana-bench -all -o results/ # also write one .txt per experiment
+//	scalana-bench -list              # show all experiments
+//	scalana-bench -exp table1        # one experiment
+//	scalana-bench -all               # everything, in paper order
+//	scalana-bench -all -parallel 4   # up to 4 experiments concurrently
+//	scalana-bench -all -o results/   # also write one .txt per experiment
+//
+// With -parallel above 1 (or 0 for one worker per CPU), experiments
+// execute concurrently on the shared sweep engine; output is still
+// printed in paper order once all of them finish. Results are identical
+// either way — each simulated run is deterministic.
 package main
 
 import (
@@ -23,6 +29,7 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	list := flag.Bool("list", false, "list experiments")
 	outDir := flag.String("o", "", "directory to write per-experiment .txt files")
+	parallel := flag.Int("parallel", 1, "experiments run concurrently (0 = one per CPU)")
 	flag.Parse()
 
 	if *list {
@@ -51,19 +58,44 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
-	for _, e := range toRun {
-		start := time.Now()
-		res, err := e.Run()
-		if err != nil {
-			fatalf("%s: %v", e.ID, err)
-		}
-		fmt.Printf("==== %s: %s (took %.1fs) ====\n\n%s\n", res.ID, e.Title, time.Since(start).Seconds(), res.Text)
-		if *outDir != "" {
-			path := filepath.Join(*outDir, res.ID+".txt")
-			if err := os.WriteFile(path, []byte(res.Text), 0o644); err != nil {
-				fatalf("write %s: %v", path, err)
+	if *parallel == 1 {
+		for _, e := range toRun {
+			start := time.Now()
+			res, err := e.Run()
+			if err != nil {
+				fatalf("%s: %v", e.ID, err)
 			}
+			fmt.Printf("==== %s: %s (took %.1fs) ====\n\n%s\n", res.ID, e.Title, time.Since(start).Seconds(), res.Text)
+			writeResult(*outDir, res)
 		}
+		return
+	}
+
+	start := time.Now()
+	results, err := exp.RunAll(toRun, *parallel)
+	// Completed experiments are printed and written even when one failed.
+	done := 0
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		fmt.Printf("==== %s: %s ====\n\n%s\n", res.ID, toRun[i].Title, res.Text)
+		writeResult(*outDir, res)
+		done++
+	}
+	if err != nil {
+		fatalf("%v (%d of %d experiments completed)", err, done, len(toRun))
+	}
+	fmt.Printf("%d experiments in %.1fs\n", done, time.Since(start).Seconds())
+}
+
+func writeResult(outDir string, res *exp.Result) {
+	if outDir == "" {
+		return
+	}
+	path := filepath.Join(outDir, res.ID+".txt")
+	if err := os.WriteFile(path, []byte(res.Text), 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
 	}
 }
 

@@ -6,7 +6,13 @@
 // Usage:
 //
 //	scalana-detect -app zeusmp -scales 8,16,32,64
+//	scalana-detect -app zeusmp -scales 8,16,32,64 -parallel 4
 //	scalana-detect -app cg -scales 4,8,16 -abnorm-thd 1.5 -profiles dir/
+//
+// The app is compiled once for the whole sweep and the scales execute
+// concurrently on -parallel workers (0 = one per CPU, 1 = one scale at
+// a time; each scale's own rank simulation and finalization still use
+// goroutines). The report is identical regardless of parallelism.
 //
 // With -profiles, previously saved scalana-prof outputs named
 // <app>.<np>.json are loaded from the directory instead of re-running.
@@ -34,6 +40,7 @@ func main() {
 	abnormThd := flag.Float64("abnorm-thd", 1.3, "AbnormThd detection parameter")
 	topK := flag.Int("topk", 10, "maximum non-scalable vertices reported")
 	profilesDir := flag.String("profiles", "", "directory of saved scalana-prof outputs")
+	parallel := flag.Int("parallel", 0, "scales profiled concurrently (0 = one per CPU, 1 = one scale at a time)")
 	flag.Parse()
 
 	app := scalana.GetApp(*appName)
@@ -74,7 +81,10 @@ func main() {
 		cfg := prof.DefaultConfig()
 		cfg.SampleHz = *hz
 		var err error
-		runs, err = scalana.Sweep(app, nps, cfg)
+		runs, err = scalana.SweepWithConfig(app, nps, scalana.SweepConfig{
+			Parallelism: *parallel,
+			Prof:        cfg,
+		})
 		if err != nil {
 			fatalf("%v", err)
 		}

@@ -1,0 +1,3 @@
+module scalana
+
+go 1.22

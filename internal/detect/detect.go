@@ -57,16 +57,23 @@ func DefaultConfig() Config {
 
 // ScaleRun is one profiled execution at one job scale.
 type ScaleRun struct {
-	NP  int
+	// NP is the job's process count.
+	NP int
+	// PPG is the Program Performance Graph assembled from that job's
+	// per-rank profiles.
 	PPG *ppg.Graph
 }
 
 // NonScalable is one vertex whose performance scales badly with the
 // process count.
 type NonScalable struct {
+	// VertexKey is the stable PSG key of the flagged vertex.
 	VertexKey string
-	Vertex    *psg.Vertex
-	Model     fit.LogLog
+	// Vertex is the flagged vertex in the largest scale's PSG.
+	Vertex *psg.Vertex
+	// Model is the fitted log-log time-vs-np model; Model.B is the
+	// changing rate compared against Config.SlopeThd.
+	Model fit.LogLog
 	// Share is the vertex's fraction of total time at the largest scale.
 	Share float64
 	// Times maps np -> merged per-rank time.
@@ -76,14 +83,17 @@ type NonScalable struct {
 // Abnormal is one vertex whose performance differs markedly across ranks
 // at the largest scale.
 type Abnormal struct {
+	// VertexKey is the stable PSG key of the flagged vertex.
 	VertexKey string
-	Vertex    *psg.Vertex
+	// Vertex is the flagged vertex.
+	Vertex *psg.Vertex
 	// Ratio is max over median time across ranks (may be +Inf when only
 	// some ranks execute the vertex at all).
 	Ratio float64
 	// OutlierRanks lists the ranks exceeding the threshold.
 	OutlierRanks []int
-	Share        float64
+	// Share is the vertex's fraction of total time at this scale.
+	Share float64
 }
 
 // StepVia says how the backtracking walk reached a step.
@@ -99,10 +109,14 @@ const (
 
 // PathStep is one hop of a root-cause path.
 type PathStep struct {
+	// VertexKey is the stable PSG key of the vertex visited by this hop.
 	VertexKey string
-	Vertex    *psg.Vertex
-	Rank      int
-	Via       StepVia
+	// Vertex is the visited vertex.
+	Vertex *psg.Vertex
+	// Rank is the process the walk is on at this hop.
+	Rank int
+	// Via says how the walk arrived here (start, comm, control, data).
+	Via StepVia
 	// Wait is the waiting time of the communication edge taken to leave
 	// this step (0 for control/data hops).
 	Wait float64
@@ -110,29 +124,45 @@ type PathStep struct {
 
 // Path is one backtracking walk (paper Fig. 8's colored chains).
 type Path struct {
+	// Steps are the hops in walk order, starting at a problematic vertex.
 	Steps []PathStep
+	// Cause is the root-cause candidate the walk terminated on, nil when
+	// the walk exhausted its step budget without converging.
 	Cause *Cause
 }
 
 // Cause is one root-cause candidate.
 type Cause struct {
+	// VertexKey is the stable PSG key of the candidate vertex.
 	VertexKey string
-	Vertex    *psg.Vertex
+	// Vertex is the candidate vertex.
+	Vertex *psg.Vertex
 	// Score ranks causes: time share at the largest scale times the
 	// cross-rank imbalance ratio.
-	Score     float64
-	Share     float64
+	Score float64
+	// Share is the candidate's fraction of total time at the largest scale.
+	Share float64
+	// Imbalance is the candidate's cross-rank max-over-median time ratio.
 	Imbalance float64
-	Paths     int // number of paths containing this cause
+	// Paths counts the backtracking paths terminating on this cause.
+	Paths int
 }
 
 // Report is the complete detection output.
 type Report struct {
-	NP          int
+	// NP is the largest profiled scale; abnormal detection and
+	// backtracking ran on its PPG.
+	NP int
+	// NonScalable lists vertices whose time scales badly with np,
+	// worst (slope x share) first.
 	NonScalable []NonScalable
-	Abnormal    []Abnormal
-	Paths       []Path
-	Causes      []Cause
+	// Abnormal lists vertices imbalanced across ranks at the largest
+	// scale, worst (ratio x share) first.
+	Abnormal []Abnormal
+	// Paths holds one backtracking walk per problematic vertex.
+	Paths []Path
+	// Causes ranks the distinct root-cause candidates by Score.
+	Causes []Cause
 }
 
 // Detect runs the full pipeline over profiled runs at multiple scales.

@@ -29,7 +29,7 @@ func init() {
 // largest-scale run output.
 func caseStudy(name string, nps []int) (*detect.Report, []detect.ScaleRun, error) {
 	app := scalana.GetApp(name)
-	runs, err := scalana.Sweep(app, scalesFor(app, nps), sweepProf())
+	runs, err := sweep(app, scalesFor(app, nps))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -77,7 +77,7 @@ func fig7() (*Result, error) {
 	// while compute vertices shrink with np.
 	app := scalana.GetApp("cg")
 	nps := []int{4, 8, 16, 32, 64}
-	runs, err := scalana.Sweep(app, nps, sweepProf())
+	runs, err := sweep(app, nps)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +110,7 @@ func fig7() (*Result, error) {
 
 	// (b) abnormal vertex: per-rank times on the imbalanced stencil.
 	demo := scalana.GetApp("stencil-demo-imbalanced")
-	out, err := scalana.Run(scalana.RunConfig{App: demo, NP: 16, Tool: scalana.ToolScalAna, Prof: sweepProf()})
+	out, err := eng.Run(scalana.RunConfig{App: demo, NP: 16, Tool: scalana.ToolScalAna, Prof: sweepProf()})
 	if err != nil {
 		return nil, err
 	}
@@ -208,11 +208,11 @@ func speedupComparison(r *Result, orig, opt string, nps []int) (float64, error) 
 	nps = scalesFor(a, nps)
 	var tOrig, tOpt []float64
 	for _, np := range nps {
-		o, err := scalana.Run(scalana.RunConfig{App: a, NP: np})
+		o, err := eng.Run(scalana.RunConfig{App: a, NP: np})
 		if err != nil {
 			return 0, err
 		}
-		p, err := scalana.Run(scalana.RunConfig{App: b, NP: np})
+		p, err := eng.Run(scalana.RunConfig{App: b, NP: np})
 		if err != nil {
 			return 0, err
 		}
@@ -316,7 +316,7 @@ func fig15() (*Result, error) {
 // handleEventSeries extracts the per-rank counter for SST's handleEvent
 // instance, summed over its vertices.
 func handleEventSeries(appName string, c machine.Counter) ([]float64, error) {
-	out, err := scalana.Run(scalana.RunConfig{
+	out, err := eng.Run(scalana.RunConfig{
 		App: scalana.GetApp(appName), NP: 32, Tool: scalana.ToolScalAna, Prof: sweepProf()})
 	if err != nil {
 		return nil, err
@@ -337,7 +337,7 @@ func handleEventSeries(appName string, c machine.Counter) ([]float64, error) {
 func fig16() (*Result, error) {
 	r := newResult("fig16", "Fig. 16: Nekbone dgemm PMU data before/after the fix, np=32")
 	series := func(appName string, c machine.Counter) ([]float64, error) {
-		out, err := scalana.Run(scalana.RunConfig{
+		out, err := eng.Run(scalana.RunConfig{
 			App: scalana.GetApp(appName), NP: 32, Tool: scalana.ToolScalAna, Prof: sweepProf()})
 		if err != nil {
 			return nil, err

@@ -11,11 +11,18 @@ import (
 	"strings"
 
 	"scalana/internal/detect"
+	"scalana/internal/par"
 	"scalana/internal/prof"
 	"scalana/internal/psg"
 
 	scalana "scalana"
 )
+
+// eng is the package-wide sweep engine. Every experiment compiles
+// through its cache, so each (app, PSG options) pair is parsed and
+// contracted once per process no matter how many experiments — possibly
+// running concurrently via RunAll — touch it.
+var eng = scalana.NewEngine()
 
 // Result is one regenerated experiment.
 type Result struct {
@@ -65,6 +72,31 @@ func Get(id string) *Experiment {
 	return nil
 }
 
+// RunAll executes the given experiments on at most parallelism workers
+// (0 = one per CPU, 1 = one experiment at a time) and returns their
+// results in input order. All experiments share the package engine's compile cache.
+// Experiments are independent, so a failure does not stop the others:
+// on error, the returned slice still carries every completed result
+// (failed slots are nil) alongside the lowest-indexed failure.
+func RunAll(exps []Experiment, parallelism int) ([]*Result, error) {
+	results := make([]*Result, len(exps))
+	errs := make([]error, len(exps))
+	par.ForEach(len(exps), parallelism, func(i int) {
+		res, err := exps[i].Run()
+		if err != nil {
+			errs[i] = fmt.Errorf("%s: %w", exps[i].ID, err)
+			return
+		}
+		results[i] = res
+	})
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
 func orderOf(id string) int {
 	order := []string{"table1", "fig2", "fig4", "fig6", "fig7", "fig8",
 		"table2", "table3", "fig10", "fig11", "table4",
@@ -89,10 +121,16 @@ func sweepProf() prof.Config {
 	return cfg
 }
 
+// sweep runs a multi-scale profiling sweep through the shared engine:
+// one compile per app, scales fanned out across the CPU-bounded pool.
+func sweep(app *scalana.App, nps []int) ([]detect.ScaleRun, error) {
+	return eng.Sweep(app, nps, scalana.SweepConfig{Prof: sweepProf()})
+}
+
 // runTools executes app at np with no tool and with each of the three
 // tools, returning overhead percentages and storage bytes.
 func runTools(app *scalana.App, np int) (ovh map[string]float64, storage map[string]int64, err error) {
-	base, err := scalana.Run(scalana.RunConfig{App: app, NP: np})
+	base, err := eng.Run(scalana.RunConfig{App: app, NP: np})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -106,7 +144,7 @@ func runTools(app *scalana.App, np int) (ovh map[string]float64, storage map[str
 		{"hpctk", scalana.ToolCallPath},
 		{"tracer", scalana.ToolTracer},
 	} {
-		out, err := scalana.Run(scalana.RunConfig{App: app, NP: np, Tool: tc.tool})
+		out, err := eng.Run(scalana.RunConfig{App: app, NP: np, Tool: tc.tool})
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s with %s: %w", app.Name, tc.name, err)
 		}

@@ -170,7 +170,7 @@ func table4() (*Result, error) {
 	var rows [][]string
 	for _, name := range scalana.EvaluationNames() {
 		app := scalana.GetApp(name)
-		runs, err := scalana.Sweep(app, scalesFor(app, []int{16, 32, 64, 128}), sweepProf())
+		runs, err := sweep(app, scalesFor(app, []int{16, 32, 64, 128}))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,105 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 1000); got != min(runtime.NumCPU(), 1000) {
+		t.Errorf("Workers(0, 1000) = %d", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8, 3) = %d, want 3", got)
+	}
+	if got := Workers(-1, 0); got != 1 {
+		t.Errorf("Workers(-1, 0) = %d, want 1", got)
+	}
+	if got := Workers(2, 100); got != 2 {
+		t.Errorf("Workers(2, 100) = %d, want 2", got)
+	}
+}
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		const n = 129
+		var hits [n]int32
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var order []int
+	ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial ForEach out of order: %v", order)
+		}
+	}
+}
+
+func TestMapErrResultsIndexed(t *testing.T) {
+	out, err := MapErr(10, 4, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	_, err := MapErr(8, 4, func(i int) (int, error) {
+		if i >= 3 {
+			return 0, fmt.Errorf("item %d: %w", i, errA)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want a wrapped errA", err)
+	}
+	// Serial mode reproduces the serial loop exactly: item 3 errors and
+	// nothing after it runs.
+	var ran int32
+	_, err = MapErr(8, 1, func(i int) (int, error) {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 {
+			return 0, errA
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("serial err = %v", err)
+	}
+	if ran != 4 {
+		t.Errorf("serial MapErr ran %d items after an early error, want 4", ran)
+	}
+}
+
+func TestMapErrStopsDispatchAfterFailure(t *testing.T) {
+	errA := errors.New("a")
+	var ran int32
+	_, err := MapErr(1000, 2, func(i int) (int, error) {
+		atomic.AddInt32(&ran, 1)
+		return 0, errA
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v", err)
+	}
+	// With the first items failing, the vast majority of the 1000 items
+	// must have been skipped (exact count depends on scheduling).
+	if n := atomic.LoadInt32(&ran); n > 100 {
+		t.Errorf("MapErr ran %d items after the first failure", n)
+	}
+}

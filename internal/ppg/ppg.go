@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"scalana/internal/machine"
+	"scalana/internal/par"
 	"scalana/internal/prof"
 	"scalana/internal/psg"
 )
@@ -50,7 +51,46 @@ type Graph struct {
 	Storage int64
 }
 
+// commKeyLess totally orders communication records so per-rank float
+// aggregation happens in a reproducible order.
+func commKeyLess(a, b prof.CommKey) bool {
+	if a.VertexKey != b.VertexKey {
+		return a.VertexKey < b.VertexKey
+	}
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	if a.DepRank != b.DepRank {
+		return a.DepRank < b.DepRank
+	}
+	if a.DepVertex != b.DepVertex {
+		return a.DepVertex < b.DepVertex
+	}
+	if a.Tag != b.Tag {
+		return a.Tag < b.Tag
+	}
+	if a.Bytes != b.Bytes {
+		return a.Bytes < b.Bytes
+	}
+	return !a.Collective && b.Collective
+}
+
+// rankPart is one rank's independently-computed contribution to the
+// graph, produced by the parallel phase of Build.
+type rankPart struct {
+	storage int64
+	time    float64
+	edges   map[EdgeFrom][]*DepEdge
+}
+
 // Build assembles the PPG from the PSG and all rank profiles.
+//
+// Per-rank aggregation (storage sizing, rank time, dependence-edge
+// compression) runs on a CPU-bounded worker pool; every rank writes only
+// rank-owned state, and the cross-rank merge happens serially in rank
+// order, so the assembled graph is identical to a serial build. Edge
+// buckets are keyed by (vertex, rank) and therefore never shared between
+// ranks; their final order comes from the deterministic sort below.
 func Build(g *psg.Graph, profiles []*prof.RankProfile) (*Graph, error) {
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("ppg: no profiles")
@@ -59,13 +99,7 @@ func Build(g *psg.Graph, profiles []*prof.RankProfile) (*Graph, error) {
 	if len(profiles) != np {
 		return nil, fmt.Errorf("ppg: got %d profiles for np=%d", len(profiles), np)
 	}
-	pg := &Graph{
-		PSG:      g,
-		NP:       np,
-		Perf:     map[string][]prof.PerfData{},
-		Edges:    map[EdgeFrom][]*DepEdge{},
-		RankTime: make([]float64, np),
-	}
+	seen := make([]bool, np)
 	for _, rp := range profiles {
 		if rp.NP != np {
 			return nil, fmt.Errorf("ppg: profile for rank %d has np=%d, want %d", rp.Rank, rp.NP, np)
@@ -73,25 +107,50 @@ func Build(g *psg.Graph, profiles []*prof.RankProfile) (*Graph, error) {
 		if rp.Rank < 0 || rp.Rank >= np {
 			return nil, fmt.Errorf("ppg: profile rank %d out of range", rp.Rank)
 		}
-		pg.Storage += rp.StorageBytes()
-		for key, pd := range rp.Vertex {
-			row := pg.Perf[key]
-			if row == nil {
-				row = make([]prof.PerfData, np)
-				pg.Perf[key] = row
-			}
-			row[rp.Rank] = *pd
-			pg.RankTime[rp.Rank] += pd.Time
+		if seen[rp.Rank] {
+			return nil, fmt.Errorf("ppg: duplicate profile for rank %d", rp.Rank)
 		}
-		// Aggregate dependence edges per (vertex, peer rank, peer vertex).
+		seen[rp.Rank] = true
+	}
+	pg := &Graph{
+		PSG:      g,
+		NP:       np,
+		Perf:     map[string][]prof.PerfData{},
+		Edges:    map[EdgeFrom][]*DepEdge{},
+		RankTime: make([]float64, np),
+	}
+
+	parts := make([]rankPart, len(profiles))
+	par.ForEach(len(profiles), 0, func(i int) {
+		rp := profiles[i]
+		part := rankPart{storage: rp.StorageBytes()}
+		// Floating-point sums must not depend on Go map iteration order,
+		// or "identical profiles in, identical graph out" breaks in the
+		// last ulp: fix the reduction order by sorting keys first.
+		vkeys := make([]string, 0, len(rp.Vertex))
+		for key := range rp.Vertex {
+			vkeys = append(vkeys, key)
+		}
+		sort.Strings(vkeys)
+		for _, key := range vkeys {
+			part.time += rp.Vertex[key].Time
+		}
+		// Aggregate dependence edges per (vertex, peer rank, peer vertex),
+		// again in a fixed record order for the same reason.
 		type aggKey struct {
 			from EdgeFrom
 			peer int
 			pkey string
 			op   string
 		}
+		ckeys := make([]prof.CommKey, 0, len(rp.Comm))
+		for key := range rp.Comm {
+			ckeys = append(ckeys, key)
+		}
+		sort.Slice(ckeys, func(a, b int) bool { return commKeyLess(ckeys[a], ckeys[b]) })
 		agg := map[aggKey]*DepEdge{}
-		for _, rec := range rp.Comm {
+		for _, ck := range ckeys {
+			rec := rp.Comm[ck]
 			if rec.DepRank < 0 {
 				continue
 			}
@@ -113,11 +172,38 @@ func Build(g *psg.Graph, profiles []*prof.RankProfile) (*Graph, error) {
 				e.MaxWait = rec.MaxWait
 			}
 		}
+		part.edges = map[EdgeFrom][]*DepEdge{}
 		for k, e := range agg {
-			pg.Edges[k.from] = append(pg.Edges[k.from], e)
+			part.edges[k.from] = append(part.edges[k.from], e)
+		}
+		parts[i] = part
+	})
+
+	// Serial merge in rank order: allocate the union of performance rows,
+	// then splice in each rank's part.
+	for i, rp := range profiles {
+		for key := range rp.Vertex {
+			if pg.Perf[key] == nil {
+				pg.Perf[key] = make([]prof.PerfData, np)
+			}
+		}
+		pg.Storage += parts[i].storage
+		pg.RankTime[rp.Rank] = parts[i].time
+		for from, es := range parts[i].edges {
+			pg.Edges[from] = es
 		}
 	}
-	// Deterministic edge ordering: heaviest wait first.
+	// Row filling touches disjoint rank slots of pre-allocated rows (map
+	// reads only), so it fans out too.
+	par.ForEach(len(profiles), 0, func(i int) {
+		rp := profiles[i]
+		for key, pd := range rp.Vertex {
+			pg.Perf[key][rp.Rank] = *pd
+		}
+	})
+
+	// Deterministic edge ordering: heaviest wait first, with a total
+	// tiebreak so equal-wait edges order identically on every build.
 	for from, edges := range pg.Edges {
 		sort.Slice(edges, func(i, j int) bool {
 			if edges[i].TotalWait != edges[j].TotalWait {
@@ -126,7 +212,10 @@ func Build(g *psg.Graph, profiles []*prof.RankProfile) (*Graph, error) {
 			if edges[i].PeerRank != edges[j].PeerRank {
 				return edges[i].PeerRank < edges[j].PeerRank
 			}
-			return edges[i].PeerVertexKey < edges[j].PeerVertexKey
+			if edges[i].PeerVertexKey != edges[j].PeerVertexKey {
+				return edges[i].PeerVertexKey < edges[j].PeerVertexKey
+			}
+			return edges[i].Op < edges[j].Op
 		})
 		pg.Edges[from] = edges
 	}

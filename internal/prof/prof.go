@@ -52,44 +52,64 @@ func DefaultConfig() Config {
 // PerfData is the performance vector attached to one PSG vertex on one
 // rank (paper Fig. 6 shows Time/TOT_INS/TOT_LST on a vertex).
 type PerfData struct {
+	// Samples counts timer interrupts attributed to the vertex.
 	Samples int64
-	Time    float64 // Samples / SampleHz: sampled execution time
-	PMU     machine.Vec
+	// Time is the sampled execution time: Samples / SampleHz.
+	Time float64
+	// PMU holds the hardware counters accumulated while the vertex ran.
+	PMU machine.Vec
 }
 
 // CommKey identifies one communication record after compression: the
 // PSG vertex plus the operation parameters. Repeated communications with
 // the same key collapse into a single record (paper §III-B2).
 type CommKey struct {
-	VertexKey  string
-	Op         string
-	DepRank    int
-	DepVertex  string
-	Tag        int
-	Bytes      float64
+	// VertexKey is the stable PSG key of the MPI vertex that issued the
+	// operation.
+	VertexKey string
+	// Op is the MPI operation name (mpi_send, mpi_allreduce, ...).
+	Op string
+	// DepRank is the peer this operation depended on (-1 when none).
+	DepRank int
+	// DepVertex is the stable key of the peer's responsible vertex.
+	DepVertex string
+	// Tag is the message tag (p2p operations).
+	Tag int
+	// Bytes is the per-operation message size.
+	Bytes float64
+	// Collective marks collective operations.
 	Collective bool
 }
 
 // CommRecord is one (possibly aggregated) communication dependence record.
 type CommRecord struct {
 	CommKey
-	Count     int64
+	// Count is how many operations collapsed into this record.
+	Count int64
+	// TotalWait is the summed waiting time across those operations.
 	TotalWait float64
-	MaxWait   float64
+	// MaxWait is the largest single waiting time observed.
+	MaxWait float64
 }
 
 // IndirectRecord is one runtime-resolved indirect call (paper §III-B3).
 type IndirectRecord struct {
+	// InstancePath is the PSG instance path of the calling function.
 	InstancePath string
-	Site         minilang.NodeID
-	Target       string
-	Count        int64
+	// Site is the AST node of the indirect call site.
+	Site minilang.NodeID
+	// Target is the function name the call resolved to.
+	Target string
+	// Count is how many times this (site, target) resolution fired.
+	Count int64
 }
 
 // RankProfile is the profiler output for one rank.
 type RankProfile struct {
+	// Rank is the process this profile was collected on.
 	Rank int
-	NP   int
+	// NP is the job size the profile belongs to.
+	NP int
 	// Vertex performance data keyed by stable vertex key.
 	Vertex map[string]*PerfData
 	// Comm holds the compressed communication dependence records.

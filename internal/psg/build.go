@@ -34,12 +34,18 @@ type Stats struct {
 
 // Graph is a Program Structure Graph.
 type Graph struct {
-	Prog     *minilang.Program
-	Root     *Vertex
-	Vertices []*Vertex // dense, indexed by Vertex.ID
-	Main     *Instance
-	Opts     Options
-	Stats    Stats
+	// Prog is the program the graph was built from.
+	Prog *minilang.Program
+	// Root is the synthetic root vertex above main's body.
+	Root *Vertex
+	// Vertices is the dense preorder vertex list, indexed by Vertex.ID.
+	Vertices []*Vertex
+	// Main is the instance of the program's main function.
+	Main *Instance
+	// Opts records the options the graph was built with.
+	Opts Options
+	// Stats summarizes construction (paper Table II columns).
+	Stats Stats
 
 	mu        sync.RWMutex
 	byKey     map[string]*Vertex
@@ -75,6 +81,13 @@ func Build(prog *minilang.Program, opts Options) (*Graph, error) {
 	g.Main = g.newInstance(nil, mainFn, "main")
 	b := &builder{g: g}
 	b.walkBlock(g.Main, mainFn.Body, g.Root)
+
+	// Pre-materialize every possible indirect-call target so the graph is
+	// immutable during execution and can be shared by concurrent runs
+	// (see the package comment in resolve.go).
+	if err := g.materializeAllIndirect(); err != nil {
+		return nil, err
+	}
 
 	g.Stats.VerticesBefore = countVertices(g.Root)
 	if opts.Contract {

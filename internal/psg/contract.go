@@ -68,6 +68,12 @@ func (g *Graph) transformChildren(v *Vertex, loopDepth int, memo map[*Vertex]boo
 				}
 				g.transformChildren(c, loopDepth+1, memo, replaced)
 				kept = append(kept, c)
+			case KindCall:
+				// Indirect call sites carry pre-materialized target
+				// subtrees; contract them in place (the Call vertex itself
+				// is always preserved).
+				g.transformChildren(c, loopDepth, memo, replaced)
+				kept = append(kept, c)
 			case KindBranch:
 				if !containsComm(c, memo) {
 					// A branch without MPI is not preserved, but loops

@@ -543,3 +543,53 @@ func TestAttributionTotality(t *testing.T) {
 		walk(inst.Fn.Body)
 	}
 }
+
+// TestBuildPrematerializesIndirectTargets: address-taken functions are
+// inlined under every indirect site at compile time, so resolving them
+// at run time is a pure lookup that never grows the graph. This is what
+// makes a compiled graph shareable by concurrent runs.
+func TestBuildPrematerializesIndirectTargets(t *testing.T) {
+	prog := minilang.MustParse("t.mp", `
+func taken(x) {
+	var a = x + 1;
+	var b = a * 2;
+	return b;
+}
+func main() {
+	var f = &taken;
+	var y = f(2);
+	mpi_barrier();
+}`)
+	g := MustBuild(prog)
+	found := false
+	var site minilang.NodeID
+	for _, v := range g.Vertices {
+		if v.IndirectSite {
+			site = v.SiteNode
+		}
+		if strings.Contains(v.Key, "@taken") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("address-taken target not pre-materialized at build time")
+	}
+	if g.Main.IndirectTargets(site)["taken"] == nil {
+		t.Fatal("pre-materialized instance not registered for the site")
+	}
+	before := len(g.Vertices)
+	child, err := g.ResolveIndirect(g.Main, site, "taken")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child == nil || child.Fn.Name != "taken" {
+		t.Fatalf("resolved instance wrong: %+v", child)
+	}
+	if len(g.Vertices) != before {
+		t.Errorf("runtime resolution of a pre-materialized target grew the graph: %d -> %d vertices",
+			before, len(g.Vertices))
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,19 +2,199 @@ package psg
 
 import (
 	"fmt"
+	"sort"
 
 	"scalana/internal/minilang"
 )
 
-// ResolveIndirect materializes the PSG subtree for an indirect call
-// observed at run time (paper §III-B3: "collect the calling information of
-// indirect calls at runtime and fill such information into the graph").
+// Indirect-call materialization.
 //
-// inst/site identify the Call vertex of the indirect call site; target is
-// the function actually invoked. The first call for a (site, target) pair
-// inlines the target's local PSG underneath the Call vertex (applying the
-// usual contraction) and re-finalizes vertex IDs; subsequent calls return
-// the cached instance. Safe for concurrent use by all simulated ranks.
+// The paper (§III-B3) leaves indirect call sites as Call vertices and
+// fills them in with runtime information. In MiniMP the possible targets
+// are statically enumerable — a function value can only originate from
+// an address-of expression (&name) — so Build pre-materializes the
+// subtree for every (indirect site, address-taken function) pair at
+// compile time. The payoff is concurrency: a compiled graph shared by
+// many simultaneous runs (the sweep engine's compile cache) is immutable
+// during execution, because every target the interpreter can produce is
+// already present and ResolveIndirect reduces to a read-locked lookup.
+
+// addressTakenFuncs returns the sorted names of functions whose address
+// is taken (&name) anywhere in the program. These are exactly the
+// possible targets of indirect calls.
+func addressTakenFuncs(prog *minilang.Program) []string {
+	set := map[string]bool{}
+	var walkExpr func(e minilang.Expr)
+	var walkStmt func(s minilang.Stmt)
+	walkExpr = func(e minilang.Expr) {
+		switch ex := e.(type) {
+		case *minilang.FuncRefExpr:
+			set[ex.Name] = true
+		case *minilang.IndexExpr:
+			walkExpr(ex.Idx)
+		case *minilang.UnaryExpr:
+			walkExpr(ex.X)
+		case *minilang.BinaryExpr:
+			walkExpr(ex.L)
+			walkExpr(ex.R)
+		case *minilang.CallExpr:
+			for _, a := range ex.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	walkStmt = func(s minilang.Stmt) {
+		switch st := s.(type) {
+		case *minilang.VarDecl:
+			walkExpr(st.Init)
+		case *minilang.AssignStmt:
+			if st.Idx != nil {
+				walkExpr(st.Idx)
+			}
+			walkExpr(st.Val)
+		case *minilang.ExprStmt:
+			walkExpr(st.X)
+		case *minilang.ReturnStmt:
+			if st.Value != nil {
+				walkExpr(st.Value)
+			}
+		case *minilang.Block:
+			for _, c := range st.Stmts {
+				walkStmt(c)
+			}
+		case *minilang.IfStmt:
+			walkExpr(st.Cond)
+			walkStmt(st.Then)
+			if st.Else != nil {
+				walkStmt(st.Else)
+			}
+		case *minilang.ForStmt:
+			if st.Init != nil {
+				walkStmt(st.Init)
+			}
+			if st.Cond != nil {
+				walkExpr(st.Cond)
+			}
+			if st.Post != nil {
+				walkStmt(st.Post)
+			}
+			walkStmt(st.Body)
+		case *minilang.WhileStmt:
+			walkExpr(st.Cond)
+			walkStmt(st.Body)
+		}
+	}
+	for _, fn := range prog.Funcs {
+		walkStmt(fn.Body)
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// materializeLocked inlines target's local PSG underneath the indirect
+// call vertex at (inst, site), or returns the cached/ancestor instance.
+// created reports whether new vertices were added. The caller must hold
+// g.mu exclusively (or be the single-threaded Build).
+func (g *Graph) materializeLocked(inst *Instance, site minilang.NodeID, target string) (child *Instance, created bool, err error) {
+	if m := inst.indirect[site]; m != nil {
+		if c, ok := m[target]; ok {
+			return c, false, nil
+		}
+	}
+	fn := g.Prog.Func(target)
+	if fn == nil {
+		return nil, false, fmt.Errorf("psg: indirect call to unknown function %q", target)
+	}
+	cv := inst.siteVertex[site]
+	if cv == nil {
+		return nil, false, fmt.Errorf("psg: node %d in %s is not an indirect call site", site, inst.Path)
+	}
+
+	// Recursion through function pointers: reuse the active ancestor
+	// instance, forming a cycle like direct recursion does.
+	for p := inst; p != nil; p = g.parents[p] {
+		if p.Fn != nil && p.Fn.Name == target {
+			g.rememberIndirect(inst, site, target, p)
+			return p, false, nil
+		}
+	}
+
+	child = g.newInstance(inst, fn, fmt.Sprintf("%s/%d@%s", inst.Path, site, target))
+	b := &builder{g: g}
+	// Seed the inlining stack with the ancestry so that direct recursion
+	// inside the materialized subtree is still detected.
+	for p := inst; p != nil; p = g.parents[p] {
+		if p.Fn != nil {
+			b.stack = append(b.stack, stackEntry{name: p.Fn.Name, inst: p})
+		}
+	}
+	b.stack = append(b.stack, stackEntry{name: target, inst: child})
+	b.walkBlock(child, fn.Body, cv)
+	g.rememberIndirect(inst, site, target, child)
+	return child, true, nil
+}
+
+// maxMaterializedInstances bounds pre-materialization. The fixpoint must
+// run to completion — a partially materialized graph would push deep
+// indirect sites back onto the mutating runtime path and void the
+// immutable-shared-graph guarantee — so the pathological case (k
+// address-taken functions that each contain an indirect site, giving one
+// instance chain per ordered target sequence, O(k!) growth that no real
+// workload exhibits) is rejected at compile time instead of silently
+// degraded. Real programs sit orders of magnitude below this.
+const maxMaterializedInstances = 65536
+
+// materializeAllIndirect pre-materializes every (indirect site, address-
+// taken function) pair, processing instances created along the way until
+// fixpoint. Runs inside Build, before contraction, single-threaded.
+//
+// Every site acquires a subtree per possible target, including targets
+// it never invokes at run time; unsampled vertices stay out of profiles
+// and reports, so over-approximation costs graph memory only.
+func (g *Graph) materializeAllIndirect() error {
+	targets := addressTakenFuncs(g.Prog)
+	if len(targets) == 0 {
+		return nil
+	}
+	// g.instances grows while materializing; the index loop doubles as
+	// the worklist. Sites and targets are visited in sorted order so
+	// instance IDs, paths, and vertex order are deterministic.
+	for i := 0; i < len(g.instances); i++ {
+		if len(g.instances) > maxMaterializedInstances {
+			return fmt.Errorf("psg: indirect-call materialization exceeded %d instances; nesting of the %d address-taken functions is too deep",
+				maxMaterializedInstances, len(targets))
+		}
+		inst := g.instances[i]
+		sites := make([]minilang.NodeID, 0, len(inst.siteVertex))
+		for s := range inst.siteVertex {
+			sites = append(sites, s)
+		}
+		sort.Slice(sites, func(a, b int) bool { return sites[a] < sites[b] })
+		for _, s := range sites {
+			for _, t := range targets {
+				if _, _, err := g.materializeLocked(inst, s, t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ResolveIndirect returns the PSG subtree for an indirect call observed
+// at run time (paper §III-B3). inst/site identify the Call vertex of the
+// indirect call site; target is the function actually invoked.
+//
+// Targets the interpreter can produce are always address-taken and
+// therefore pre-materialized by Build, making this a read-locked cache
+// lookup — runs never mutate a shared graph. The slow path below only
+// fires for direct API callers naming a function that is never
+// address-taken; it materializes under the write lock, applying the
+// usual contraction and re-finalizing vertex IDs.
 func (g *Graph) ResolveIndirect(inst *Instance, site minilang.NodeID, target string) (*Instance, error) {
 	g.mu.RLock()
 	if m := inst.indirect[site]; m != nil {
@@ -27,46 +207,17 @@ func (g *Graph) ResolveIndirect(inst *Instance, site minilang.NodeID, target str
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if m := inst.indirect[site]; m != nil { // re-check under write lock
-		if child, ok := m[target]; ok {
-			return child, nil
+	child, created, err := g.materializeLocked(inst, site, target)
+	if err != nil {
+		return nil, err
+	}
+	if created {
+		if g.Opts.Contract {
+			cv := inst.siteVertex[site]
+			g.contractSubtree(cv, cv.LoopDepth())
 		}
+		g.finalizeLocked()
 	}
-
-	fn := g.Prog.Func(target)
-	if fn == nil {
-		return nil, fmt.Errorf("psg: indirect call to unknown function %q", target)
-	}
-	cv := inst.siteVertex[site]
-	if cv == nil {
-		return nil, fmt.Errorf("psg: node %d in %s is not an indirect call site", site, inst.Path)
-	}
-
-	// Recursion through function pointers: reuse the active ancestor
-	// instance, forming a cycle like direct recursion does.
-	for p := inst; p != nil; p = g.parents[p] {
-		if p.Fn != nil && p.Fn.Name == target {
-			g.rememberIndirect(inst, site, target, p)
-			return p, nil
-		}
-	}
-
-	child := g.newInstance(inst, fn, fmt.Sprintf("%s/%d@%s", inst.Path, site, target))
-	b := &builder{g: g}
-	// Seed the inlining stack with the dynamic ancestry so that direct
-	// recursion inside the materialized subtree is still detected.
-	for p := inst; p != nil; p = g.parents[p] {
-		if p.Fn != nil {
-			b.stack = append(b.stack, stackEntry{name: p.Fn.Name, inst: p})
-		}
-	}
-	b.stack = append(b.stack, stackEntry{name: target, inst: child})
-	b.walkBlock(child, fn.Body, cv)
-	if g.Opts.Contract {
-		g.contractSubtree(cv, cv.LoopDepth())
-	}
-	g.rememberIndirect(inst, site, target, child)
-	g.finalizeLocked()
 	return child, nil
 }
 

@@ -161,16 +161,20 @@ func (v *Vertex) String() string {
 // data lands on the right vertex even when a function is called from many
 // places.
 type Instance struct {
-	ID   int
-	Fn   *minilang.FuncDecl
-	Path string // "main", "main/17@foo", ...
+	// ID is the instance's creation index within its graph.
+	ID int
+	// Fn is the function this instance is a copy of.
+	Fn *minilang.FuncDecl
+	// Path names the call path: "main", "main/17@foo", ...
+	Path string
 
 	// vertexOf maps AST node -> the retained vertex that attributes it.
 	vertexOf map[minilang.NodeID]*Vertex
 	// calls maps direct call-site nodes to the callee instance.
 	calls map[minilang.NodeID]*Instance
-	// indirect maps indirect call-site nodes to the runtime-materialized
-	// target instances, by callee name (filled by Graph.ResolveIndirect).
+	// indirect maps indirect call-site nodes to the materialized target
+	// instances, by callee name (pre-filled by Build for every
+	// address-taken function; Graph.ResolveIndirect adds the rest).
 	indirect map[minilang.NodeID]map[string]*Instance
 	// siteVertex maps indirect call-site nodes to their Call vertex.
 	siteVertex map[minilang.NodeID]*Vertex

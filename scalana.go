@@ -28,6 +28,7 @@ import (
 	"scalana/internal/interp"
 	"scalana/internal/minilang"
 	"scalana/internal/mpisim"
+	"scalana/internal/par"
 	"scalana/internal/ppg"
 	"scalana/internal/prof"
 	"scalana/internal/psg"
@@ -134,21 +135,56 @@ type RunOutput struct {
 	StorageBytes int64
 }
 
-// Run executes the app at one scale with the configured tool.
-func Run(cfg RunConfig) (*RunOutput, error) {
+// validateRunConfig checks the parts of a RunConfig that both Run and
+// RunCompiled depend on.
+func validateRunConfig(cfg RunConfig) error {
 	if cfg.App == nil {
-		return nil, fmt.Errorf("scalana: RunConfig.App is nil")
+		return fmt.Errorf("scalana: RunConfig.App is nil")
 	}
 	if cfg.NP < cfg.App.MinNP {
-		return nil, fmt.Errorf("scalana: %s requires at least %d ranks, got %d", cfg.App.Name, cfg.App.MinNP, cfg.NP)
+		return fmt.Errorf("scalana: %s requires at least %d ranks, got %d", cfg.App.Name, cfg.App.MinNP, cfg.NP)
 	}
-	opts := cfg.PSGOptions
+	return nil
+}
+
+// resolvePSGOptions applies the default PSG options when the RunConfig
+// left them zero.
+func resolvePSGOptions(opts psg.Options) psg.Options {
 	if opts.MaxLoopDepth == 0 && !opts.Contract {
-		opts = psg.DefaultOptions()
+		return psg.DefaultOptions()
 	}
-	prog, graph, err := CompileOptions(cfg.App, opts)
+	return opts
+}
+
+// Run executes the app at one scale with the configured tool. It is the
+// compile phase (CompileOptions) followed by the execute phase
+// (RunCompiled); multi-run workloads should compile once — through an
+// Engine, whose cache keys on (app, PSG options) — and call RunCompiled
+// per execution.
+func Run(cfg RunConfig) (*RunOutput, error) {
+	if err := validateRunConfig(cfg); err != nil {
+		return nil, err
+	}
+	prog, graph, err := CompileOptions(cfg.App, resolvePSGOptions(cfg.PSGOptions))
 	if err != nil {
 		return nil, err
+	}
+	return RunCompiled(prog, graph, cfg)
+}
+
+// RunCompiled is the execute phase of Run: it runs an already-compiled
+// program on the simulator with the configured tool attached. The graph
+// may be shared between concurrent RunCompiled calls: a compiled graph
+// is immutable during execution — every indirect-call target a program
+// can produce is pre-materialized at compile time (psg.Build), so runs
+// only read it, and sharing one graph across a sweep changes neither
+// profiles nor detection output.
+func RunCompiled(prog *minilang.Program, graph *psg.Graph, cfg RunConfig) (*RunOutput, error) {
+	if err := validateRunConfig(cfg); err != nil {
+		return nil, err
+	}
+	if prog == nil || graph == nil {
+		return nil, fmt.Errorf("scalana: RunCompiled needs a compiled program and graph")
 	}
 
 	out := &RunOutput{App: cfg.App, NP: cfg.NP, Tool: cfg.Tool, Graph: graph}
@@ -212,13 +248,17 @@ func Run(cfg RunConfig) (*RunOutput, error) {
 	}
 	out.Result = res
 
+	// Per-rank finalization (profile extraction and storage sizing) is
+	// independent across ranks; fan it out and reduce the byte counts in
+	// rank order so the sum is reproducible.
+	storage := make([]int64, cfg.NP)
 	switch cfg.Tool {
 	case ToolScalAna:
 		out.Profiles = make([]*prof.RankProfile, cfg.NP)
-		for r, pr := range profilers {
-			out.Profiles[r] = pr.Profile()
-			out.StorageBytes += out.Profiles[r].StorageBytes()
-		}
+		par.ForEach(cfg.NP, 0, func(r int) {
+			out.Profiles[r] = profilers[r].Profile()
+			storage[r] = out.Profiles[r].StorageBytes()
+		})
 		pg, err := ppg.Build(graph, out.Profiles)
 		if err != nil {
 			return nil, fmt.Errorf("scalana: assemble PPG: %w", err)
@@ -226,33 +266,37 @@ func Run(cfg RunConfig) (*RunOutput, error) {
 		out.PPG = pg
 	case ToolTracer:
 		out.Traces = make([]*trace.RankTrace, cfg.NP)
-		for r, tr := range tracers {
-			out.Traces[r] = tr.Trace()
-			out.StorageBytes += out.Traces[r].StorageBytes()
-		}
+		par.ForEach(cfg.NP, 0, func(r int) {
+			out.Traces[r] = tracers[r].Trace()
+			storage[r] = out.Traces[r].StorageBytes()
+		})
 	case ToolCallPath:
 		out.CtxProfiles = make([]*hpctk.RankProfile, cfg.NP)
-		for r, pr := range ctxProfs {
-			out.CtxProfiles[r] = pr.Profile()
-			out.StorageBytes += out.CtxProfiles[r].StorageBytes()
-		}
+		par.ForEach(cfg.NP, 0, func(r int) {
+			out.CtxProfiles[r] = ctxProfs[r].Profile()
+			storage[r] = out.CtxProfiles[r].StorageBytes()
+		})
+	}
+	for _, s := range storage {
+		out.StorageBytes += s
 	}
 	return out, nil
 }
 
 // Sweep profiles the app with ScalAna at each scale in nps and returns the
 // per-scale runs ready for DetectScalingLoss. profCfg zero value uses
-// paper defaults.
+// paper defaults. The app is compiled once for the whole sweep and the
+// scales execute on a CPU-bounded worker pool; use SweepWithConfig (or
+// an Engine) to control parallelism, seeding, and PSG options.
 func Sweep(app *App, nps []int, profCfg prof.Config) ([]detect.ScaleRun, error) {
-	var runs []detect.ScaleRun
-	for _, np := range nps {
-		out, err := Run(RunConfig{App: app, NP: np, Tool: ToolScalAna, Prof: profCfg})
-		if err != nil {
-			return nil, err
-		}
-		runs = append(runs, detect.ScaleRun{NP: np, PPG: out.PPG})
-	}
-	return runs, nil
+	return SweepWithConfig(app, nps, SweepConfig{Prof: profCfg})
+}
+
+// SweepWithConfig is Sweep with explicit sweep configuration. Each call
+// uses a fresh Engine; reuse one Engine directly to share its compile
+// cache across sweeps.
+func SweepWithConfig(app *App, nps []int, cfg SweepConfig) ([]detect.ScaleRun, error) {
+	return NewEngine().Sweep(app, nps, cfg)
 }
 
 // DetectScalingLoss runs problematic-vertex detection and backtracking
