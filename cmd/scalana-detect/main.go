@@ -47,7 +47,7 @@ func main() {
 	if app == nil {
 		fatalf("unknown app %q", *appName)
 	}
-	var nps []int
+	var nps, dropped []int
 	for _, s := range strings.Split(*scales, ",") {
 		np, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil {
@@ -55,19 +55,27 @@ func main() {
 		}
 		if np >= app.MinNP {
 			nps = append(nps, np)
+		} else {
+			dropped = append(dropped, np)
 		}
+	}
+	if len(dropped) > 0 {
+		fmt.Fprintf(os.Stderr, "scalana-detect: dropping scales %v: %s requires at least %d ranks\n",
+			dropped, app.Name, app.MinNP)
+	}
+	if len(nps) == 0 {
+		fatalf("no usable scales: all of %v are below the %d-rank minimum of %s", dropped, app.MinNP, app.Name)
 	}
 
 	var runs []detect.ScaleRun
 	if *profilesDir != "" {
-		prog, graph, err := scalana.Compile(app)
+		_, graph, err := scalana.Compile(app)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		_ = prog
 		for _, np := range nps {
 			path := filepath.Join(*profilesDir, fmt.Sprintf("%s.%d.json", app.Name, np))
-			ps, err := prof.LoadProfileSet(path)
+			ps, err := prof.LoadProfileSet(path, graph)
 			if err != nil {
 				fatalf("load %s: %v", path, err)
 			}

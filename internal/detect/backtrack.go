@@ -28,15 +28,17 @@ import (
 // preceding Waitalls.
 
 type backtracker struct {
-	pg      *ppg.Graph
-	cfg     Config
-	scanned map[string]bool
+	pg  *ppg.Graph
+	cfg Config
+	// scanned is dense per-VID state: the graph is immutable during
+	// detection, so the symbol table bounds every vertex a walk can see.
+	scanned []bool
 }
 
 func backtrackAll(rep *Report, largest ScaleRun, cfg Config) {
-	bt := &backtracker{pg: largest.PPG, cfg: cfg, scanned: map[string]bool{}}
+	bt := &backtracker{pg: largest.PPG, cfg: cfg, scanned: make([]bool, largest.PPG.PSG.NumVIDs())}
 	for _, ns := range rep.NonScalable {
-		rank := argmaxRank(largest.PPG, ns.VertexKey)
+		rank := argmaxRank(largest.PPG, ns.Vertex.VID)
 		if p := bt.walk(ns.Vertex, rank); len(p.Steps) > 0 {
 			rep.Paths = append(rep.Paths, p)
 		}
@@ -44,10 +46,10 @@ func backtrackAll(rep *Report, largest ScaleRun, cfg Config) {
 	// Abnormal vertices not covered by any previous path get their own
 	// walks (Algorithm 1, lines 9-12).
 	for _, ab := range rep.Abnormal {
-		if bt.scanned[ab.VertexKey] {
+		if bt.scanned[ab.Vertex.VID] {
 			continue
 		}
-		rank := argmaxRank(largest.PPG, ab.VertexKey)
+		rank := argmaxRank(largest.PPG, ab.Vertex.VID)
 		if p := bt.walk(ab.Vertex, rank); len(p.Steps) > 0 {
 			rep.Paths = append(rep.Paths, p)
 		}
@@ -56,8 +58,8 @@ func backtrackAll(rep *Report, largest ScaleRun, cfg Config) {
 
 // argmaxRank picks the rank most affected by the vertex: the one with the
 // largest sampled time.
-func argmaxRank(pg *ppg.Graph, key string) int {
-	vals := pg.TimeSeries(key)
+func argmaxRank(pg *ppg.Graph, vid psg.VID) int {
+	vals := pg.TimeSeries(vid)
 	best, bestV := 0, math.Inf(-1)
 	for r, v := range vals {
 		if v > bestV {
@@ -68,7 +70,7 @@ func argmaxRank(pg *ppg.Graph, key string) int {
 }
 
 type pv struct {
-	key  string
+	vid  psg.VID
 	rank int
 }
 
@@ -88,14 +90,14 @@ func (bt *backtracker) walk(start *psg.Vertex, rank int) Path {
 		if v.Collective && (via == ViaControl || via == ViaData) {
 			break
 		}
-		id := pv{v.Key, r}
+		id := pv{v.VID, r}
 		if visited[id] {
 			break
 		}
 		visited[id] = true
 
-		firstVisit := !bt.scanned[v.Key]
-		bt.scanned[v.Key] = true
+		firstVisit := !bt.scanned[v.VID]
+		bt.scanned[v.VID] = true
 		path.Steps = append(path.Steps, PathStep{VertexKey: v.Key, Vertex: v, Rank: r, Via: via, Wait: wait})
 		wait = 0
 
@@ -105,8 +107,8 @@ func (bt *backtracker) walk(start *psg.Vertex, rank int) Path {
 
 		// 1. MPI vertices: follow the inter-process dependence edge.
 		if v.Kind == psg.KindMPI {
-			if e := bt.pg.BestEdge(v.Key, r, bt.cfg.PruneWaitless, bt.cfg.WaitEps); e != nil {
-				if peer := bt.pg.PSG.VertexByKey(e.PeerVertexKey); peer != nil && !visited[pv{peer.Key, e.PeerRank}] {
+			if e := bt.pg.BestEdge(v.VID, r, bt.cfg.PruneWaitless, bt.cfg.WaitEps); e != nil {
+				if peer := bt.pg.PSG.VertexByVID(e.PeerVID); peer != nil && !visited[pv{peer.VID, e.PeerRank}] {
 					v, r, via, wait = peer, e.PeerRank, ViaComm, e.TotalWait
 					continue
 				}
@@ -118,7 +120,7 @@ func (bt *backtracker) walk(start *psg.Vertex, rank int) Path {
 		// the structure ("the traversal continues from the end vertex of
 		// this loop").
 		if (v.Kind == psg.KindLoop || v.Kind == psg.KindBranch) && firstVisit {
-			if last := v.LastChild(); last != nil && !visited[pv{last.Key, r}] {
+			if last := v.LastChild(); last != nil && !visited[pv{last.VID, r}] {
 				v, via = last, ViaControl
 				continue
 			}
@@ -143,11 +145,11 @@ func rankCauses(rep *Report, largest ScaleRun) {
 	if total <= 0 {
 		return
 	}
-	abn := map[string]float64{}
+	abn := map[psg.VID]float64{}
 	for _, ab := range rep.Abnormal {
-		abn[ab.VertexKey] = score(ab.Ratio)
+		abn[ab.Vertex.VID] = score(ab.Ratio)
 	}
-	agg := map[string]*Cause{}
+	agg := map[psg.VID]*Cause{}
 	for i := range rep.Paths {
 		p := &rep.Paths[i]
 		var best *Cause
@@ -155,8 +157,8 @@ func rankCauses(rep *Report, largest ScaleRun) {
 			if st.Vertex.Kind != psg.KindComp && st.Vertex.Kind != psg.KindLoop {
 				continue
 			}
-			share := sum(largest.PPG.TimeSeries(st.VertexKey)) / total
-			imb := abn[st.VertexKey]
+			share := sum(largest.PPG.TimeSeries(st.Vertex.VID)) / total
+			imb := abn[st.Vertex.VID]
 			if imb == 0 {
 				imb = 1
 			}
@@ -167,14 +169,14 @@ func rankCauses(rep *Report, largest ScaleRun) {
 		}
 		if best == nil && len(p.Steps) > 0 {
 			last := p.Steps[len(p.Steps)-1]
-			share := sum(largest.PPG.TimeSeries(last.VertexKey)) / total
+			share := sum(largest.PPG.TimeSeries(last.Vertex.VID)) / total
 			best = &Cause{VertexKey: last.VertexKey, Vertex: last.Vertex, Share: share, Imbalance: 1, Score: share}
 		}
 		if best == nil {
 			continue
 		}
 		p.Cause = best
-		if prev, ok := agg[best.VertexKey]; ok {
+		if prev, ok := agg[best.Vertex.VID]; ok {
 			prev.Paths++
 			if best.Score > prev.Score {
 				prev.Score = best.Score
@@ -182,7 +184,7 @@ func rankCauses(rep *Report, largest ScaleRun) {
 		} else {
 			cp := *best
 			cp.Paths = 1
-			agg[best.VertexKey] = &cp
+			agg[best.Vertex.VID] = &cp
 		}
 	}
 	for _, c := range agg {

@@ -220,23 +220,18 @@ func findNonScalable(sorted []ScaleRun, cfg Config) []NonScalable {
 		return nil
 	}
 	var out []NonScalable
-	for key := range largest.PPG.Perf {
-		v := largest.PPG.PSG.VertexByKey(key)
+	for _, vid := range largest.PPG.PresentVIDs() {
+		v := largest.PPG.PSG.VertexByVID(vid)
 		if v == nil || v.Kind == psg.KindRoot {
 			continue
 		}
 		var ps, ys []float64
 		times := map[int]float64{}
 		for _, run := range sorted {
-			row, ok := run.PPG.Perf[key]
-			if !ok {
+			if !run.PPG.Present(vid) {
 				continue
 			}
-			vals := make([]float64, len(row))
-			for r := range row {
-				vals[r] = row[r].Time
-			}
-			merged := fit.Merge(vals, cfg.Merge)
+			merged := fit.Merge(run.PPG.TimeSeries(vid), cfg.Merge)
 			ps = append(ps, float64(run.NP))
 			ys = append(ys, merged)
 			times[run.NP] = merged
@@ -248,11 +243,11 @@ func findNonScalable(sorted []ScaleRun, cfg Config) []NonScalable {
 		if err != nil {
 			continue
 		}
-		share := sum(largest.PPG.TimeSeries(key)) / total
+		share := sum(largest.PPG.TimeSeries(vid)) / total
 		if model.B <= cfg.SlopeThd || share < cfg.MinShare {
 			continue
 		}
-		out = append(out, NonScalable{VertexKey: key, Vertex: v, Model: model, Share: share, Times: times})
+		out = append(out, NonScalable{VertexKey: v.Key, Vertex: v, Model: model, Share: share, Times: times})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		si, sj := out[i].Model.B*out[i].Share, out[j].Model.B*out[j].Share
@@ -275,12 +270,12 @@ func findAbnormal(run ScaleRun, cfg Config) []Abnormal {
 		return nil
 	}
 	var out []Abnormal
-	for key := range run.PPG.Perf {
-		v := run.PPG.PSG.VertexByKey(key)
+	for _, vid := range run.PPG.PresentVIDs() {
+		v := run.PPG.PSG.VertexByVID(vid)
 		if v == nil || v.Kind == psg.KindRoot {
 			continue
 		}
-		vals := run.PPG.TimeSeries(key)
+		vals := run.PPG.TimeSeries(vid)
 		share := sum(vals) / total
 		if share < cfg.MinShare {
 			continue
@@ -305,7 +300,7 @@ func findAbnormal(run ScaleRun, cfg Config) []Abnormal {
 				outliers = append(outliers, r)
 			}
 		}
-		out = append(out, Abnormal{VertexKey: key, Vertex: v, Ratio: ratio, OutlierRanks: outliers, Share: share})
+		out = append(out, Abnormal{VertexKey: v.Key, Vertex: v, Ratio: ratio, OutlierRanks: outliers, Share: share})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		si, sj := score(out[i].Ratio)*out[i].Share, score(out[j].Ratio)*out[j].Share

@@ -29,12 +29,7 @@ func newSynthetic(t *testing.T, src string, np int) *synthetic {
 	g := psg.MustBuild(prog)
 	s := &synthetic{t: t, graph: g, np: np}
 	for r := 0; r < np; r++ {
-		s.profs = append(s.profs, &prof.RankProfile{
-			Rank: r, NP: np,
-			Vertex:   map[string]*prof.PerfData{},
-			Comm:     map[prof.CommKey]*prof.CommRecord{},
-			Indirect: map[string]*prof.IndirectRecord{},
-		})
+		s.profs = append(s.profs, prof.NewRankProfile(g, r, np))
 	}
 	return s
 }
@@ -51,12 +46,12 @@ func (s *synthetic) vertex(substr string, kind psg.Kind) *psg.Vertex {
 }
 
 func (s *synthetic) setTime(v *psg.Vertex, rank int, time float64) {
-	s.profs[rank].Vertex[v.Key] = &prof.PerfData{Time: time, Samples: int64(time * 1e4),
+	s.profs[rank].Vertex[v.VID] = prof.PerfData{Time: time, Samples: int64(time * 1e4),
 		PMU: machine.Vec{time * 1e7, time * 2e7, time * 1e6, 0, 0}}
 }
 
 func (s *synthetic) addEdge(from *psg.Vertex, rank int, to *psg.Vertex, peerRank int, wait float64) {
-	key := prof.CommKey{VertexKey: from.Key, Op: from.Name, DepRank: peerRank, DepVertex: to.Key}
+	key := prof.CommKey{VID: from.VID, Op: from.Name, DepRank: peerRank, DepVID: to.VID}
 	s.profs[rank].Comm[key] = &prof.CommRecord{CommKey: key, Count: 1, TotalWait: wait, MaxWait: wait}
 }
 
@@ -290,10 +285,10 @@ func TestBacktrackPruningControlsCommEdges(t *testing.T) {
 	s.addEdge(waitall, 0, waitall, 1, 1e-9)
 
 	pg := s.ppg()
-	if e := pg.BestEdge(waitall.Key, 0, true, 1e-6); e != nil {
+	if e := pg.BestEdge(waitall.VID, 0, true, 1e-6); e != nil {
 		t.Errorf("waitless edge survived pruning: %+v", e)
 	}
-	if e := pg.BestEdge(waitall.Key, 0, false, 1e-6); e == nil {
+	if e := pg.BestEdge(waitall.VID, 0, false, 1e-6); e == nil {
 		t.Error("unpruned lookup should find the edge")
 	}
 }
@@ -323,7 +318,7 @@ func main() {
 		s.setTime(waitall, r, 0.2)
 		s.setTime(allreduce, r, 0.01)
 	}
-	bt := &backtracker{pg: s.ppg(), cfg: DefaultConfig(), scanned: map[string]bool{}}
+	bt := &backtracker{pg: s.ppg(), cfg: DefaultConfig(), scanned: make([]bool, s.graph.NumVIDs())}
 	p := bt.walk(waitall, 0)
 	for _, st := range p.Steps {
 		if st.VertexKey == allreduce.Key {
@@ -339,7 +334,7 @@ func TestBacktrackStepBudget(t *testing.T) {
 	s.setTime(comp, 1, 1)
 	cfg := DefaultConfig()
 	cfg.MaxSteps = 2
-	bt := &backtracker{pg: s.ppg(), cfg: cfg, scanned: map[string]bool{}}
+	bt := &backtracker{pg: s.ppg(), cfg: cfg, scanned: make([]bool, s.graph.NumVIDs())}
 	p := bt.walk(comp, 0)
 	if len(p.Steps) > 2 {
 		t.Errorf("walk exceeded MaxSteps: %d steps", len(p.Steps))

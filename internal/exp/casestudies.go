@@ -93,15 +93,18 @@ func fig7() (*Result, error) {
 	nsLine := make([]float64, len(nps))
 	var compLine []float64
 	// Contrast vertex: the heaviest well-scaling Comp vertex.
-	compKey, _ := heaviestVertex(runs[len(runs)-1], psg.KindComp, machine.TotCyc)
+	compV, _ := heaviestVertex(runs[len(runs)-1], psg.KindComp, machine.TotCyc)
+	if compV == nil {
+		return nil, fmt.Errorf("fig7: no Comp vertex with attributed time in the CG sweep")
+	}
 	for i, run := range runs {
 		xs[i] = float64(run.NP)
-		nsLine[i] = fit.Median(run.PPG.TimeSeries(ns.VertexKey)) * 1e3
-		compLine = append(compLine, fit.Median(run.PPG.TimeSeries(compKey))*1e3)
+		nsLine[i] = fit.Median(run.PPG.TimeSeries(ns.Vertex.VID)) * 1e3
+		compLine = append(compLine, fit.Median(run.PPG.TimeSeries(compV.VID))*1e3)
 	}
 	r.addf("%s\n", report.Series(
 		fmt.Sprintf("(a) median per-rank time (ms) vs np; non-scalable: %s (slope %.2f), scalable: %s",
-			ns.VertexKey, ns.Model.B, compKey),
+			ns.VertexKey, ns.Model.B, compV.Key),
 		"np", xs, []report.NamedSeries{
 			{Name: "non-scalable", Values: nsLine},
 			{Name: "scalable comp", Values: compLine},
@@ -114,14 +117,17 @@ func fig7() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	key, vals := heaviestVertex(detect.ScaleRun{NP: 16, PPG: out.PPG}, psg.KindComp, machine.TotCyc)
+	abV, vals := heaviestVertex(detect.ScaleRun{NP: 16, PPG: out.PPG}, psg.KindComp, machine.TotCyc)
+	if abV == nil {
+		return nil, fmt.Errorf("fig7: no Comp vertex with attributed time in the imbalanced stencil run")
+	}
 	labels := make([]string, len(vals))
 	ms := make([]float64, len(vals))
 	for i, v := range vals {
 		labels[i] = fmt.Sprintf("rank %d", i)
 		ms[i] = v * 1e3
 	}
-	r.addf("%s", report.Bars(fmt.Sprintf("(b) per-rank time (ms) of %s at np=16 (even ranks are abnormal)", key),
+	r.addf("%s", report.Bars(fmt.Sprintf("(b) per-rank time (ms) of %s at np=16 (even ranks are abnormal)", abV.Key),
 		labels, ms, func(v float64) string { return fmt.Sprintf("%.2f ms", v) }))
 	r.Values["abnormal_ratio"] = fit.Max(vals) / fit.Median(vals)
 	return r, nil
@@ -129,24 +135,27 @@ func fig7() (*Result, error) {
 
 // heaviestVertex returns the vertex of the given kind with the largest
 // summed time, plus its per-rank time series.
-func heaviestVertex(run detect.ScaleRun, kind psg.Kind, c machine.Counter) (string, []float64) {
-	bestKey, bestSum := "", -1.0
-	for key := range run.PPG.Perf {
-		v := run.PPG.PSG.VertexByKey(key)
+func heaviestVertex(run detect.ScaleRun, kind psg.Kind, c machine.Counter) (*psg.Vertex, []float64) {
+	var best *psg.Vertex
+	bestSum := -1.0
+	for _, vid := range run.PPG.PresentVIDs() {
+		v := run.PPG.PSG.VertexByVID(vid)
 		if v == nil || v.Kind != kind {
 			continue
 		}
-		vals := run.PPG.TimeSeries(key)
 		// Skip imbalanced vertices when hunting a "scalable" contrast.
 		s := 0.0
-		for _, x := range vals {
+		for _, x := range run.PPG.TimeSeries(vid) {
 			s += x
 		}
 		if s > bestSum {
-			bestKey, bestSum = key, s
+			best, bestSum = v, s
 		}
 	}
-	return bestKey, run.PPG.TimeSeries(bestKey)
+	if best == nil {
+		return nil, make([]float64, run.PPG.NP)
+	}
+	return best, run.PPG.TimeSeries(best.VID)
 }
 
 func fig8() (*Result, error) {
@@ -322,12 +331,12 @@ func handleEventSeries(appName string, c machine.Counter) ([]float64, error) {
 		return nil, err
 	}
 	sum := make([]float64, out.NP)
-	for key := range out.PPG.Perf {
-		if !strings.Contains(key, "@handleEvent") {
+	keys := out.PPG.PSG.Keys()
+	for _, vid := range out.PPG.PresentVIDs() {
+		if !strings.Contains(keys[vid], "@handleEvent") {
 			continue
 		}
-		vals := out.PPG.PMUSeries(key, c)
-		for i, v := range vals {
+		for i, v := range out.PPG.PMUSeries(vid, c) {
 			sum[i] += v
 		}
 	}
@@ -343,12 +352,12 @@ func fig16() (*Result, error) {
 			return nil, err
 		}
 		sum := make([]float64, out.NP)
-		for key := range out.PPG.Perf {
-			if !strings.Contains(key, "@dgemm") {
+		keys := out.PPG.PSG.Keys()
+		for _, vid := range out.PPG.PresentVIDs() {
+			if !strings.Contains(keys[vid], "@dgemm") {
 				continue
 			}
-			vals := out.PPG.PMUSeries(key, c)
-			for i, v := range vals {
+			for i, v := range out.PPG.PMUSeries(vid, c) {
 				sum[i] += v
 			}
 		}

@@ -76,11 +76,10 @@ func fig6() (*Result, error) {
 	headers := []string{"Vertex", "Kind", "Line", "Time(rank0)", "TOT_INS(rank0)", "TOT_LST(rank0)"}
 	var rows [][]string
 	for _, v := range out.Graph.Vertices {
-		row, ok := out.PPG.Perf[v.Key]
-		if !ok || v.Kind == psg.KindRoot {
+		if !out.PPG.Present(v.VID) || v.Kind == psg.KindRoot {
 			continue
 		}
-		pd := row[0]
+		pd := out.PPG.PerfAt(v.VID, 0)
 		rows = append(rows, []string{v.Key, v.Kind.String(), fmt.Sprintf("%d", v.Pos.Line),
 			report.Seconds(pd.Time), fmt.Sprintf("%.3g", pd.PMU[0]), fmt.Sprintf("%.3g", pd.PMU[2])})
 	}
@@ -89,8 +88,8 @@ func fig6() (*Result, error) {
 	var erows [][]string
 	for from, edges := range out.PPG.Edges {
 		for _, e := range edges {
-			erows = append(erows, []string{from.VertexKey, fmt.Sprintf("%d", from.Rank),
-				e.PeerVertexKey, fmt.Sprintf("%d", e.PeerRank),
+			erows = append(erows, []string{out.Graph.KeyOf(from.VID), fmt.Sprintf("%d", from.Rank),
+				out.Graph.KeyOf(e.PeerVID), fmt.Sprintf("%d", e.PeerRank),
 				fmt.Sprintf("%d", e.Count), report.Seconds(e.TotalWait)})
 		}
 	}

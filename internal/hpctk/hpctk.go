@@ -74,6 +74,10 @@ type Profiler struct {
 	profile    *RankProfile
 	period     float64
 	pendingPMU machine.Vec
+	// paths caches the rendered calling-context string per leaf vertex,
+	// indexed by interned psg.VID: the parent walk and string join run
+	// once per distinct context instead of once per sample.
+	paths []string
 }
 
 // New creates the call-path profiler for one rank.
@@ -92,17 +96,29 @@ func New(cfg Config, rank int) *Profiler {
 func (pr *Profiler) Profile() *RankProfile { return pr.profile }
 
 // callPath renders the calling context of ctx by walking vertex parents —
-// the moral equivalent of unwinding the stack at an interrupt.
-func callPath(ctx any) string {
+// the moral equivalent of unwinding the stack at an interrupt. The walk
+// memoizes per interned VID, so repeated samples in the same context are
+// a slice index.
+func (pr *Profiler) callPath(ctx any) string {
 	v, ok := ctx.(*psg.Vertex)
 	if !ok || v == nil {
 		return "root"
+	}
+	if int(v.VID) < len(pr.paths) && pr.paths[v.VID] != "" {
+		return pr.paths[v.VID]
 	}
 	var parts []string
 	for _, x := range v.Path() {
 		parts = append(parts, x.Key)
 	}
-	return strings.Join(parts, ";")
+	path := strings.Join(parts, ";")
+	if int(v.VID) >= len(pr.paths) {
+		grown := make([]string, int(v.VID)+1)
+		copy(grown, pr.paths)
+		pr.paths = grown
+	}
+	pr.paths[v.VID] = path
+	return path
 }
 
 // Advance implements timer sampling against the calling context.
@@ -112,7 +128,7 @@ func (pr *Profiler) Advance(p *mpisim.Proc, from, to float64, kind mpisim.Advanc
 	if crossings <= 0 {
 		return 0
 	}
-	path := callPath(ctx)
+	path := pr.callPath(ctx)
 	cd := pr.profile.Ctx[path]
 	if cd == nil {
 		cd = &CtxData{}

@@ -3,6 +3,11 @@
 // performance vector profiling collected on that rank, and inter-process
 // communication dependence edges connect the vertices that waited to the
 // vertices that kept them waiting.
+//
+// Storage is columnar (ISSUE 2, DESIGN.md §7): all per-vertex, per-rank
+// performance vectors live in one contiguous block indexed
+// [int(vid)*NP + rank], one allocation per scale instead of one map row
+// per vertex, and dependence edges are keyed by interned psg.VID.
 package ppg
 
 import (
@@ -18,31 +23,36 @@ import (
 // EdgeFrom addresses the waiting side of a dependence edge: one vertex on
 // one rank.
 type EdgeFrom struct {
-	VertexKey string
-	Rank      int
+	VID  psg.VID
+	Rank int
 }
 
 // DepEdge is one aggregated inter-process dependence edge: operations at
-// (VertexKey, Rank) waited TotalWait seconds in total on PeerRank, whose
-// responsible code was PeerVertexKey.
+// (VID, Rank) waited TotalWait seconds in total on PeerRank, whose
+// responsible code was PeerVID.
 type DepEdge struct {
-	PeerRank      int
-	PeerVertexKey string
-	Op            string
-	Count         int64
-	Bytes         float64
-	TotalWait     float64
-	MaxWait       float64
-	Collective    bool
+	PeerRank   int
+	PeerVID    psg.VID
+	Op         string
+	Count      int64
+	Bytes      float64
+	TotalWait  float64
+	MaxWait    float64
+	Collective bool
 }
 
 // Graph is a Program Performance Graph for one job scale.
 type Graph struct {
 	PSG *psg.Graph
 	NP  int
-	// Perf holds per-vertex, per-rank performance vectors; slices have
-	// length NP and are zero-valued where a rank never sampled the vertex.
-	Perf map[string][]prof.PerfData
+	// Perf is the columnar performance block: the vector profiling
+	// collected for vertex vid on rank r is Perf[int(vid)*NP + r],
+	// zero-valued where the rank never sampled the vertex. Use PerfAt /
+	// TimeSeries / PMUSeries unless iterating the whole block.
+	Perf []prof.PerfData
+	// present[vid] records whether any rank attributed data to vid — the
+	// equivalent of key presence in the old per-vertex map.
+	present []bool
 	// Edges holds inter-process dependence edges grouped by waiting side.
 	Edges map[EdgeFrom][]*DepEdge
 	// RankTime is each rank's total sampled time.
@@ -51,11 +61,23 @@ type Graph struct {
 	Storage int64
 }
 
+// keyOf renders a VID through a symbol-table snapshot, with psg.VIDNone
+// (and anything else out of range) as the empty string — the exact string
+// the pre-VID representation stored for "no responsible vertex".
+func keyOf(keys []string, vid psg.VID) string {
+	if int(vid) >= len(keys) {
+		return ""
+	}
+	return keys[vid]
+}
+
 // commKeyLess totally orders communication records so per-rank float
-// aggregation happens in a reproducible order.
-func commKeyLess(a, b prof.CommKey) bool {
-	if a.VertexKey != b.VertexKey {
-		return a.VertexKey < b.VertexKey
+// aggregation happens in a reproducible order. The order is the string
+// order of the interned keys, not VID order, so graphs assembled by this
+// build sum floats in exactly the sequence the pre-VID build used.
+func commKeyLess(keys []string, a, b prof.CommKey) bool {
+	if ak, bk := keyOf(keys, a.VID), keyOf(keys, b.VID); ak != bk {
+		return ak < bk
 	}
 	if a.Op != b.Op {
 		return a.Op < b.Op
@@ -63,8 +85,8 @@ func commKeyLess(a, b prof.CommKey) bool {
 	if a.DepRank != b.DepRank {
 		return a.DepRank < b.DepRank
 	}
-	if a.DepVertex != b.DepVertex {
-		return a.DepVertex < b.DepVertex
+	if ad, bd := keyOf(keys, a.DepVID), keyOf(keys, b.DepVID); ad != bd {
+		return ad < bd
 	}
 	if a.Tag != b.Tag {
 		return a.Tag < b.Tag
@@ -76,11 +98,15 @@ func commKeyLess(a, b prof.CommKey) bool {
 }
 
 // rankPart is one rank's independently-computed contribution to the
-// graph, produced by the parallel phase of Build.
+// graph, produced by the parallel phase of Build. Edges live in one
+// arena per rank (edgeVals) with per-bucket views sliced out of one
+// pointer arena — no per-edge or per-bucket allocation.
 type rankPart struct {
-	storage int64
-	time    float64
-	edges   map[EdgeFrom][]*DepEdge
+	storage  int64
+	time     float64
+	edgeVals []DepEdge
+	froms    []EdgeFrom
+	buckets  [][]*DepEdge
 }
 
 // Build assembles the PPG from the PSG and all rank profiles.
@@ -112,59 +138,79 @@ func Build(g *psg.Graph, profiles []*prof.RankProfile) (*Graph, error) {
 		}
 		seen[rp.Rank] = true
 	}
+	nv := g.NumVIDs()
+	for _, rp := range profiles {
+		// VIDs are dense per graph instance: a profile collected against a
+		// different graph would attribute every sample to the wrong vertex
+		// without this check (string keys were immune to that mixup).
+		if rp.Graph != nil && rp.Graph != g {
+			return nil, fmt.Errorf("ppg: profile for rank %d was collected against a different graph", rp.Rank)
+		}
+		if len(rp.Vertex) > nv {
+			return nil, fmt.Errorf("ppg: profile for rank %d indexes %d vertices, symbol table has %d", rp.Rank, len(rp.Vertex), nv)
+		}
+	}
 	pg := &Graph{
 		PSG:      g,
 		NP:       np,
-		Perf:     map[string][]prof.PerfData{},
-		Edges:    map[EdgeFrom][]*DepEdge{},
+		Perf:     make([]prof.PerfData, nv*np), // ONE block for the whole scale
+		present:  make([]bool, nv),
 		RankTime: make([]float64, np),
 	}
+
+	// One symbol-table snapshot plus one key-sorted VID order for the
+	// whole build; the pre-VID build sorted key strings once per rank.
+	keys := g.Keys()
+	order := make([]psg.VID, nv)
+	for i := range order {
+		order[i] = psg.VID(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
 
 	parts := make([]rankPart, len(profiles))
 	par.ForEach(len(profiles), 0, func(i int) {
 		rp := profiles[i]
 		part := rankPart{storage: rp.StorageBytes()}
-		// Floating-point sums must not depend on Go map iteration order,
-		// or "identical profiles in, identical graph out" breaks in the
-		// last ulp: fix the reduction order by sorting keys first.
-		vkeys := make([]string, 0, len(rp.Vertex))
-		for key := range rp.Vertex {
-			vkeys = append(vkeys, key)
-		}
-		sort.Strings(vkeys)
-		for _, key := range vkeys {
-			part.time += rp.Vertex[key].Time
+		// Floating-point sums must not depend on storage order, or
+		// "identical profiles in, identical graph out" breaks in the last
+		// ulp: reduce in the fixed key-sorted order.
+		for _, vid := range order {
+			if pd := rp.PerfAt(vid); pd != nil {
+				part.time += pd.Time
+			}
 		}
 		// Aggregate dependence edges per (vertex, peer rank, peer vertex),
-		// again in a fixed record order for the same reason.
-		type aggKey struct {
-			from EdgeFrom
-			peer int
-			pkey string
-			op   string
-		}
+		// again in a fixed record order for the same reason. The sort key
+		// starts with exactly the aggregation fields — vertex, op, peer
+		// rank, peer vertex — so records of one aggregated edge form a
+		// contiguous run and records of one waiting vertex form a
+		// contiguous run of runs: aggregation is a linear scan into a
+		// per-rank arena, and each (vertex, rank) bucket is a subslice of
+		// one pointer arena.
 		ckeys := make([]prof.CommKey, 0, len(rp.Comm))
 		for key := range rp.Comm {
 			ckeys = append(ckeys, key)
 		}
-		sort.Slice(ckeys, func(a, b int) bool { return commKeyLess(ckeys[a], ckeys[b]) })
-		agg := map[aggKey]*DepEdge{}
+		sort.Slice(ckeys, func(a, b int) bool { return commKeyLess(keys, ckeys[a], ckeys[b]) })
+		part.edgeVals = make([]DepEdge, 0, len(ckeys))
+		edgeFrom := make([]psg.VID, 0, len(ckeys)) // waiting vertex per arena slot
+		var lastKey prof.CommKey
 		for _, ck := range ckeys {
 			rec := rp.Comm[ck]
 			if rec.DepRank < 0 {
 				continue
 			}
-			k := aggKey{
-				from: EdgeFrom{VertexKey: rec.VertexKey, Rank: rp.Rank},
-				peer: rec.DepRank,
-				pkey: rec.DepVertex,
-				op:   rec.Op,
+			n := len(part.edgeVals)
+			if n == 0 || lastKey.VID != rec.VID || lastKey.Op != rec.Op ||
+				lastKey.DepRank != rec.DepRank || lastKey.DepVID != rec.DepVID {
+				part.edgeVals = append(part.edgeVals, DepEdge{
+					PeerRank: rec.DepRank, PeerVID: rec.DepVID, Op: rec.Op, Collective: rec.Collective,
+				})
+				edgeFrom = append(edgeFrom, rec.VID)
+				n++
 			}
-			e := agg[k]
-			if e == nil {
-				e = &DepEdge{PeerRank: rec.DepRank, PeerVertexKey: rec.DepVertex, Op: rec.Op, Collective: rec.Collective}
-				agg[k] = e
-			}
+			lastKey = ck
+			e := &part.edgeVals[n-1]
 			e.Count += rec.Count
 			e.Bytes += rec.Bytes * float64(rec.Count)
 			e.TotalWait += rec.TotalWait
@@ -172,38 +218,53 @@ func Build(g *psg.Graph, profiles []*prof.RankProfile) (*Graph, error) {
 				e.MaxWait = rec.MaxWait
 			}
 		}
-		part.edges = map[EdgeFrom][]*DepEdge{}
-		for k, e := range agg {
-			part.edges[k.from] = append(part.edges[k.from], e)
+		ptrs := make([]*DepEdge, len(part.edgeVals))
+		for j := range part.edgeVals {
+			ptrs[j] = &part.edgeVals[j]
+		}
+		for start := 0; start < len(ptrs); {
+			end := start + 1
+			for end < len(ptrs) && edgeFrom[end] == edgeFrom[start] {
+				end++
+			}
+			part.froms = append(part.froms, EdgeFrom{VID: edgeFrom[start], Rank: rp.Rank})
+			part.buckets = append(part.buckets, ptrs[start:end:end])
+			start = end
 		}
 		parts[i] = part
 	})
 
-	// Serial merge in rank order: allocate the union of performance rows,
-	// then splice in each rank's part.
+	// Serial merge in rank order: presence union, storage and time
+	// reductions, edge bucket splicing.
+	nBuckets := 0
+	for i := range parts {
+		nBuckets += len(parts[i].froms)
+	}
+	pg.Edges = make(map[EdgeFrom][]*DepEdge, nBuckets)
 	for i, rp := range profiles {
-		for key := range rp.Vertex {
-			if pg.Perf[key] == nil {
-				pg.Perf[key] = make([]prof.PerfData, np)
+		for vid := range rp.Vertex {
+			if !pg.present[vid] && rp.Vertex[vid].Active() {
+				pg.present[vid] = true
 			}
 		}
 		pg.Storage += parts[i].storage
 		pg.RankTime[rp.Rank] = parts[i].time
-		for from, es := range parts[i].edges {
-			pg.Edges[from] = es
+		for j, from := range parts[i].froms {
+			pg.Edges[from] = parts[i].buckets[j]
 		}
 	}
-	// Row filling touches disjoint rank slots of pre-allocated rows (map
-	// reads only), so it fans out too.
+	// Column filling touches disjoint rank slots of the one pre-allocated
+	// block, so it fans out too.
 	par.ForEach(len(profiles), 0, func(i int) {
 		rp := profiles[i]
-		for key, pd := range rp.Vertex {
-			pg.Perf[key][rp.Rank] = *pd
+		for vid := range rp.Vertex {
+			pg.Perf[vid*np+rp.Rank] = rp.Vertex[vid]
 		}
 	})
 
 	// Deterministic edge ordering: heaviest wait first, with a total
-	// tiebreak so equal-wait edges order identically on every build.
+	// tiebreak (on interned key strings, matching the pre-VID order) so
+	// equal-wait edges order identically on every build.
 	for from, edges := range pg.Edges {
 		sort.Slice(edges, func(i, j int) bool {
 			if edges[i].TotalWait != edges[j].TotalWait {
@@ -212,8 +273,8 @@ func Build(g *psg.Graph, profiles []*prof.RankProfile) (*Graph, error) {
 			if edges[i].PeerRank != edges[j].PeerRank {
 				return edges[i].PeerRank < edges[j].PeerRank
 			}
-			if edges[i].PeerVertexKey != edges[j].PeerVertexKey {
-				return edges[i].PeerVertexKey < edges[j].PeerVertexKey
+			if ik, jk := keyOf(keys, edges[i].PeerVID), keyOf(keys, edges[j].PeerVID); ik != jk {
+				return ik < jk
 			}
 			return edges[i].Op < edges[j].Op
 		})
@@ -222,26 +283,62 @@ func Build(g *psg.Graph, profiles []*prof.RankProfile) (*Graph, error) {
 	return pg, nil
 }
 
+// NumVIDs returns the size of the symbol table this graph's columnar
+// block is laid out for.
+func (pg *Graph) NumVIDs() int { return len(pg.present) }
+
+// Present reports whether any rank attributed performance data to the
+// vertex.
+func (pg *Graph) Present(vid psg.VID) bool {
+	return int(vid) < len(pg.present) && pg.present[vid]
+}
+
+// PresentVIDs returns, in ascending VID order, the vertices at least one
+// rank attributed data to.
+func (pg *Graph) PresentVIDs() []psg.VID {
+	var out []psg.VID
+	for vid, ok := range pg.present {
+		if ok {
+			out = append(out, psg.VID(vid))
+		}
+	}
+	return out
+}
+
+// PerfAt returns the performance vector of one vertex on one rank (the
+// zero value when never sampled or out of range).
+func (pg *Graph) PerfAt(vid psg.VID, rank int) prof.PerfData {
+	if int(vid) >= pg.NumVIDs() || rank < 0 || rank >= pg.NP {
+		return prof.PerfData{}
+	}
+	return pg.Perf[int(vid)*pg.NP+rank]
+}
+
+// row returns the contiguous per-rank slice of one vertex, or nil when
+// the VID is out of range.
+func (pg *Graph) row(vid psg.VID) []prof.PerfData {
+	if int(vid) >= pg.NumVIDs() {
+		return nil
+	}
+	return pg.Perf[int(vid)*pg.NP : (int(vid)+1)*pg.NP]
+}
+
 // TimeSeries returns the per-rank sampled time of one vertex (length NP,
 // zeros where the vertex never ran).
-func (pg *Graph) TimeSeries(key string) []float64 {
+func (pg *Graph) TimeSeries(vid psg.VID) []float64 {
 	out := make([]float64, pg.NP)
-	if row, ok := pg.Perf[key]; ok {
-		for r := range row {
-			out[r] = row[r].Time
-		}
+	for r, pd := range pg.row(vid) {
+		out[r] = pd.Time
 	}
 	return out
 }
 
 // PMUSeries returns one counter's per-rank values for a vertex (the data
 // behind the paper's Figs. 15 and 16).
-func (pg *Graph) PMUSeries(key string, c machine.Counter) []float64 {
+func (pg *Graph) PMUSeries(vid psg.VID, c machine.Counter) []float64 {
 	out := make([]float64, pg.NP)
-	if row, ok := pg.Perf[key]; ok {
-		for r := range row {
-			out[r] = row[r].PMU[c]
-		}
+	for r, pd := range pg.row(vid) {
+		out[r] = pd.PMU[c]
 	}
 	return out
 }
@@ -255,13 +352,13 @@ func (pg *Graph) TotalTime() float64 {
 	return s
 }
 
-// BestEdge returns the dominant dependence edge out of (key, rank): the
+// BestEdge returns the dominant dependence edge out of (vid, rank): the
 // one with the largest total waiting time, or nil. When pruneWaitless is
 // set, edges whose waiting time never exceeded waitEps are ignored —
 // the paper's search-space pruning ("we only preserve the communication
 // dependence edge if a waiting event exists").
-func (pg *Graph) BestEdge(key string, rank int, pruneWaitless bool, waitEps float64) *DepEdge {
-	edges := pg.Edges[EdgeFrom{VertexKey: key, Rank: rank}]
+func (pg *Graph) BestEdge(vid psg.VID, rank int, pruneWaitless bool, waitEps float64) *DepEdge {
+	edges := pg.Edges[EdgeFrom{VID: vid, Rank: rank}]
 	for _, e := range edges {
 		if pruneWaitless && e.MaxWait < waitEps {
 			continue

@@ -20,15 +20,10 @@ func main() {
 }
 
 func mkProfile(rank, np int, g *psg.Graph, times []float64) *prof.RankProfile {
-	rp := &prof.RankProfile{
-		Rank: rank, NP: np,
-		Vertex:   map[string]*prof.PerfData{},
-		Comm:     map[prof.CommKey]*prof.CommRecord{},
-		Indirect: map[string]*prof.IndirectRecord{},
-	}
+	rp := prof.NewRankProfile(g, rank, np)
 	for i, v := range g.Root.Children {
 		if i < len(times) {
-			rp.Vertex[v.Key] = &prof.PerfData{Time: times[i], Samples: int64(times[i] * 1000),
+			rp.Vertex[v.VID] = prof.PerfData{Time: times[i], Samples: int64(times[i] * 1000),
 				PMU: machine.Vec{times[i] * 1e6, times[i] * 2e6, times[i] * 1e5, 0, 0}}
 		}
 	}
@@ -47,11 +42,11 @@ func TestBuildBasics(t *testing.T) {
 		t.Fatal(err)
 	}
 	comp := g.Root.Children[0]
-	ts := pg.TimeSeries(comp.Key)
+	ts := pg.TimeSeries(comp.VID)
 	if len(ts) != np || ts[0] != 0.1 || ts[2] < 0.3-1e-9 || ts[2] > 0.3+1e-9 {
 		t.Errorf("time series = %v", ts)
 	}
-	pmu := pg.PMUSeries(comp.Key, machine.TotIns)
+	pmu := pg.PMUSeries(comp.VID, machine.TotIns)
 	if pmu[1] != 0.2*1e6 {
 		t.Errorf("PMU series = %v", pmu)
 	}
@@ -62,7 +57,7 @@ func TestBuildBasics(t *testing.T) {
 	if pg.Storage <= 0 {
 		t.Error("storage not accumulated")
 	}
-	if ts := pg.TimeSeries("nonexistent"); len(ts) != np {
+	if ts := pg.TimeSeries(psg.VID(1 << 30)); len(ts) != np {
 		t.Errorf("missing vertex series length = %d", len(ts))
 	}
 }
@@ -72,8 +67,8 @@ func TestBuildEdgesAggregation(t *testing.T) {
 	mpiV := g.Root.Children[1]
 	np := 2
 	p0 := mkProfile(0, np, g, []float64{0.1, 0.05})
-	key := prof.CommKey{VertexKey: mpiV.Key, Op: "mpi_allreduce", DepRank: 1,
-		DepVertex: mpiV.Key, Bytes: 8, Collective: true}
+	key := prof.CommKey{VID: mpiV.VID, Op: "mpi_allreduce", DepRank: 1,
+		DepVID: mpiV.VID, Bytes: 8, Collective: true}
 	p0.Comm[key] = &prof.CommRecord{CommKey: key, Count: 10, TotalWait: 0.5, MaxWait: 0.1}
 	// A second record with a different op but same peer aggregates into a
 	// separate edge.
@@ -91,7 +86,7 @@ func TestBuildEdgesAggregation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	edges := pg.Edges[EdgeFrom{VertexKey: mpiV.Key, Rank: 0}]
+	edges := pg.Edges[EdgeFrom{VID: mpiV.VID, Rank: 0}]
 	if len(edges) != 2 {
 		t.Fatalf("%d edges, want 2", len(edges))
 	}
@@ -103,17 +98,17 @@ func TestBuildEdgesAggregation(t *testing.T) {
 		t.Errorf("NumEdges = %d", pg.NumEdges())
 	}
 
-	best := pg.BestEdge(mpiV.Key, 0, true, 1e-6)
+	best := pg.BestEdge(mpiV.VID, 0, true, 1e-6)
 	if best == nil || best.Op != "mpi_allreduce" {
 		t.Errorf("BestEdge = %+v", best)
 	}
 	// Prune threshold above MaxWait: allreduce pruned, barrier pruned too
 	// (its max wait 0.01 < 0.05) -> nil.
-	if e := pg.BestEdge(mpiV.Key, 0, true, 0.5); e != nil {
+	if e := pg.BestEdge(mpiV.VID, 0, true, 0.5); e != nil {
 		t.Errorf("expected all edges pruned, got %+v", e)
 	}
 	// Unpruned returns the heaviest regardless.
-	if e := pg.BestEdge(mpiV.Key, 0, false, 0.5); e == nil || e.Op != "mpi_allreduce" {
+	if e := pg.BestEdge(mpiV.VID, 0, false, 0.5); e == nil || e.Op != "mpi_allreduce" {
 		t.Errorf("unpruned BestEdge = %+v", e)
 	}
 }

@@ -1,0 +1,149 @@
+package prof
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"scalana/internal/machine"
+	"scalana/internal/minilang"
+	"scalana/internal/mpisim"
+	"scalana/internal/psg"
+)
+
+// benchGraph builds a PSG with nMPI distinct MPI vertices interleaved with
+// compute, the shape a real profiled run attributes events against.
+func benchGraph(nMPI int) *psg.Graph {
+	var sb strings.Builder
+	sb.WriteString("func main() {\n")
+	for i := 0; i < nMPI; i++ {
+		fmt.Fprintf(&sb, "\tcompute(1e6, 1e4, 1e4, 4096);\n")
+		fmt.Fprintf(&sb, "\tmpi_allreduce(%d);\n", 8*(i+1))
+	}
+	sb.WriteString("}\n")
+	return psg.MustBuild(minilang.MustParse("bench.mp", sb.String()))
+}
+
+// mpiVertices returns the graph's MPI vertices in preorder.
+func mpiVertices(g *psg.Graph) []*psg.Vertex {
+	var out []*psg.Vertex
+	for _, v := range g.Vertices {
+		if v.Kind == psg.KindMPI {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BenchmarkProfilerEvents is the sampler + PMPI hot path end to end: one
+// op is a fresh per-rank profiler handling rounds of timer advances (each
+// crossing a sample period) and MPI events across 16 distinct vertices —
+// the first-touch storage cost plus the steady-state attribution cost.
+// Allocation counts are deterministic and recorded in DESIGN.md §5.
+func BenchmarkProfilerEvents(b *testing.B) {
+	g := benchGraph(16)
+	vs := mpiVertices(g)
+	w := mpisim.NewWorld(mpisim.Config{NP: 1})
+	p := w.Proc(0)
+	evs := make([]mpisim.Event, len(vs))
+	for i, v := range vs {
+		evs[i] = mpisim.Event{
+			Kind: mpisim.EvRecv, Op: "mpi_recv", Rank: 0, Peer: 1, Tag: i,
+			Bytes: 1024, Wait: 1e-4, DepRank: 1, DepCtx: v, Ctx: v,
+		}
+	}
+	const rounds = 8
+	period := 1 / DefaultConfig().SampleHz
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := New(DefaultConfig(), g, 0, 4)
+		for j := 0; j < rounds*len(vs); j++ {
+			v := vs[j%len(vs)]
+			t0 := float64(j) * period
+			pr.Advance(p, t0, t0+period, mpisim.AdvCompute, v, machine.Vec{100, 50, 10, 1, 5})
+			pr.MPIEvent(p, &evs[j%len(evs)])
+		}
+	}
+}
+
+// BenchmarkProfilerEventSteady is the steady-state per-event cost with all
+// storage already touched: pure attribution, no first-touch allocation.
+func BenchmarkProfilerEventSteady(b *testing.B) {
+	g := benchGraph(16)
+	vs := mpiVertices(g)
+	w := mpisim.NewWorld(mpisim.Config{NP: 1})
+	p := w.Proc(0)
+	pr := New(DefaultConfig(), g, 0, 4)
+	evs := make([]mpisim.Event, len(vs))
+	for i, v := range vs {
+		evs[i] = mpisim.Event{
+			Kind: mpisim.EvRecv, Op: "mpi_recv", Rank: 0, Peer: 1, Tag: i,
+			Bytes: 1024, Wait: 1e-4, DepRank: 1, DepCtx: v, Ctx: v,
+		}
+	}
+	period := 1 / pr.cfg.SampleHz
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := vs[i%len(vs)]
+		t0 := float64(i) * period
+		pr.Advance(p, t0, t0+period, mpisim.AdvCompute, v, machine.Vec{100, 50, 10, 1, 5})
+		pr.MPIEvent(p, &evs[i%len(evs)])
+	}
+}
+
+// BenchmarkProfilerSampleOnly isolates the timer-sampling path (Advance
+// with a period crossing, no MPI work).
+func BenchmarkProfilerSampleOnly(b *testing.B) {
+	g := benchGraph(4)
+	vs := mpiVertices(g)
+	w := mpisim.NewWorld(mpisim.Config{NP: 1})
+	p := w.Proc(0)
+	pr := New(DefaultConfig(), g, 0, 4)
+	period := 1 / pr.cfg.SampleHz
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := float64(i) * period
+		pr.Advance(p, t0, t0+period, mpisim.AdvCompute, vs[i%len(vs)], machine.Vec{100, 50, 10, 1, 5})
+	}
+}
+
+// TestSamplerHotPathAllocFree asserts the steady-state per-event cost of
+// the interned hot path: once a vertex's dense slot and comm record
+// exist, attributing further samples and events allocates nothing.
+// Allocation counts are deterministic, so this asserts cleanly even on a
+// single-CPU runner where timing comparisons cannot.
+func TestSamplerHotPathAllocFree(t *testing.T) {
+	g := benchGraph(4)
+	vs := mpiVertices(g)
+	w := mpisim.NewWorld(mpisim.Config{NP: 1})
+	p := w.Proc(0)
+	pr := New(DefaultConfig(), g, 0, 4)
+	evs := make([]mpisim.Event, len(vs))
+	for i, v := range vs {
+		evs[i] = mpisim.Event{
+			Kind: mpisim.EvRecv, Op: "mpi_recv", Rank: 0, Peer: 1, Tag: i,
+			Bytes: 1024, Wait: 1e-4, DepRank: 1, DepCtx: v, Ctx: v,
+		}
+	}
+	period := 1 / pr.cfg.SampleHz
+	// Warm every slot and record once.
+	for i := range vs {
+		t0 := float64(i) * period
+		pr.Advance(p, t0, t0+period, mpisim.AdvCompute, vs[i], machine.Vec{1, 1, 1, 1, 1})
+		pr.MPIEvent(p, &evs[i])
+	}
+	iter := len(vs)
+	allocs := testing.AllocsPerRun(200, func() {
+		i := iter % len(vs)
+		t0 := float64(iter) * period
+		pr.Advance(p, t0, t0+period, mpisim.AdvCompute, vs[i], machine.Vec{1, 1, 1, 1, 1})
+		pr.MPIEvent(p, &evs[i])
+		iter++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state sample+event path allocates %.1f objects/op, want 0", allocs)
+	}
+}

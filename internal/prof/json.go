@@ -1,10 +1,20 @@
 package prof
 
+// JSON wire format. This is one of the two places where stable string
+// vertex keys survive the VID interning refactor (the other is report
+// rendering): profiles on disk must outlive the process whose symbol
+// table assigned the VIDs, so every VID converts back to its interned
+// key on the way out and re-interns on the way in. The byte format is
+// unchanged from the pre-VID representation — profile directories
+// written by older builds still load.
+
 import (
 	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
+
+	"scalana/internal/psg"
 )
 
 // ProfileSet is the serialized output of one scalana-prof run: all rank
@@ -16,20 +26,72 @@ type ProfileSet struct {
 	Profiles []*RankProfile `json:"profiles"`
 }
 
-// rankProfileDTO flattens the maps for stable serialization.
+// rankProfileDTO flattens the dense VID-indexed storage back to the
+// string-keyed maps of the wire format.
 type rankProfileDTO struct {
 	Rank     int                  `json:"rank"`
 	NP       int                  `json:"np"`
 	Vertex   map[string]*PerfData `json:"vertex"`
-	Comm     []*CommRecord        `json:"comm"`
+	Comm     []*commRecordDTO     `json:"comm"`
 	Indirect []*IndirectRecord    `json:"indirect"`
 }
 
-// MarshalJSON serializes with deterministic ordering.
+// commRecordDTO is one communication record on the wire; field names and
+// order reproduce the pre-VID CommRecord layout exactly.
+type commRecordDTO struct {
+	VertexKey  string
+	Op         string
+	DepRank    int
+	DepVertex  string
+	Tag        int
+	Bytes      float64
+	Collective bool
+	Count      int64
+	TotalWait  float64
+	MaxWait    float64
+}
+
+// MarshalJSON serializes with deterministic ordering, converting interned
+// VIDs back to stable string keys.
 func (rp *RankProfile) MarshalJSON() ([]byte, error) {
-	dto := rankProfileDTO{Rank: rp.Rank, NP: rp.NP, Vertex: rp.Vertex}
+	if rp.Graph == nil {
+		return nil, fmt.Errorf("prof: rank %d profile has no symbol table (RankProfile.Graph is nil)", rp.Rank)
+	}
+	keys := rp.Graph.Keys()
+	keyOf := func(vid psg.VID) (string, error) {
+		if int(vid) >= len(keys) {
+			return "", fmt.Errorf("prof: rank %d profile references VID %d outside the symbol table (%d entries)", rp.Rank, vid, len(keys))
+		}
+		return keys[vid], nil
+	}
+
+	dto := rankProfileDTO{Rank: rp.Rank, NP: rp.NP, Vertex: make(map[string]*PerfData, len(rp.Vertex))}
+	for i := range rp.Vertex {
+		if !rp.Vertex[i].Active() {
+			continue
+		}
+		key, err := keyOf(psg.VID(i))
+		if err != nil {
+			return nil, err
+		}
+		dto.Vertex[key] = &rp.Vertex[i]
+	}
 	for _, rec := range rp.Comm {
-		dto.Comm = append(dto.Comm, rec)
+		key, err := keyOf(rec.VID)
+		if err != nil {
+			return nil, err
+		}
+		dep := ""
+		if rec.DepVID != psg.VIDNone {
+			if dep, err = keyOf(rec.DepVID); err != nil {
+				return nil, err
+			}
+		}
+		dto.Comm = append(dto.Comm, &commRecordDTO{
+			VertexKey: key, Op: rec.Op, DepRank: rec.DepRank, DepVertex: dep,
+			Tag: rec.Tag, Bytes: rec.Bytes, Collective: rec.Collective,
+			Count: rec.Count, TotalWait: rec.TotalWait, MaxWait: rec.MaxWait,
+		})
 	}
 	sort.Slice(dto.Comm, func(i, j int) bool { return commLess(dto.Comm[i], dto.Comm[j]) })
 	for _, rec := range rp.Indirect {
@@ -45,30 +107,47 @@ func (rp *RankProfile) MarshalJSON() ([]byte, error) {
 	return json.Marshal(dto)
 }
 
-// UnmarshalJSON restores the map form.
-func (rp *RankProfile) UnmarshalJSON(data []byte) error {
-	var dto rankProfileDTO
-	if err := json.Unmarshal(data, &dto); err != nil {
-		return err
+// fromDTO re-interns a wire profile against g's symbol table.
+func (dto *rankProfileDTO) fromDTO(g *psg.Graph) (*RankProfile, error) {
+	rp := NewRankProfile(g, dto.Rank, dto.NP)
+	vidOf := func(key string) (psg.VID, error) {
+		vid, ok := g.VIDOf(key)
+		if !ok {
+			return 0, fmt.Errorf("prof: rank %d profile names vertex %q, which the compiled graph does not contain (profile/app mismatch?)", dto.Rank, key)
+		}
+		return vid, nil
 	}
-	rp.Rank = dto.Rank
-	rp.NP = dto.NP
-	rp.Vertex = dto.Vertex
-	if rp.Vertex == nil {
-		rp.Vertex = map[string]*PerfData{}
+	for key, pd := range dto.Vertex {
+		vid, err := vidOf(key)
+		if err != nil {
+			return nil, err
+		}
+		rp.Vertex[vid] = *pd
 	}
-	rp.Comm = map[CommKey]*CommRecord{}
 	for _, rec := range dto.Comm {
-		rp.Comm[rec.CommKey] = rec
+		vid, err := vidOf(rec.VertexKey)
+		if err != nil {
+			return nil, err
+		}
+		dep := psg.VIDNone
+		if rec.DepVertex != "" {
+			if dep, err = vidOf(rec.DepVertex); err != nil {
+				return nil, err
+			}
+		}
+		key := CommKey{
+			VID: vid, Op: rec.Op, DepRank: rec.DepRank, DepVID: dep,
+			Tag: rec.Tag, Bytes: rec.Bytes, Collective: rec.Collective,
+		}
+		rp.Comm[key] = &CommRecord{CommKey: key, Count: rec.Count, TotalWait: rec.TotalWait, MaxWait: rec.MaxWait}
 	}
-	rp.Indirect = map[string]*IndirectRecord{}
 	for _, rec := range dto.Indirect {
 		rp.Indirect[fmt.Sprintf("%s:%d#%s", rec.InstancePath, rec.Site, rec.Target)] = rec
 	}
-	return nil
+	return rp, nil
 }
 
-func commLess(a, b *CommRecord) bool {
+func commLess(a, b *commRecordDTO) bool {
 	if a.VertexKey != b.VertexKey {
 		return a.VertexKey < b.VertexKey
 	}
@@ -93,15 +172,33 @@ func (ps *ProfileSet) Save(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// LoadProfileSet reads a profile set written by Save.
-func LoadProfileSet(path string) (*ProfileSet, error) {
+// profileSetDTO is the wire form of a ProfileSet.
+type profileSetDTO struct {
+	App      string            `json:"app"`
+	NP       int               `json:"np"`
+	Elapsed  float64           `json:"elapsed"`
+	Profiles []*rankProfileDTO `json:"profiles"`
+}
+
+// LoadProfileSet reads a profile set written by Save (by this build or a
+// pre-VID one — the wire format is unchanged) and re-interns it against
+// the compiled graph's symbol table.
+func LoadProfileSet(path string, g *psg.Graph) (*ProfileSet, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var ps ProfileSet
-	if err := json.Unmarshal(data, &ps); err != nil {
+	var dto profileSetDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
 		return nil, fmt.Errorf("prof: parse %s: %w", path, err)
 	}
-	return &ps, nil
+	ps := &ProfileSet{App: dto.App, NP: dto.NP, Elapsed: dto.Elapsed}
+	for _, pdto := range dto.Profiles {
+		rp, err := pdto.fromDTO(g)
+		if err != nil {
+			return nil, fmt.Errorf("prof: load %s: %w", path, err)
+		}
+		ps.Profiles = append(ps.Profiles, rp)
+	}
+	return ps, nil
 }

@@ -62,17 +62,19 @@ type PerfData struct {
 
 // CommKey identifies one communication record after compression: the
 // PSG vertex plus the operation parameters. Repeated communications with
-// the same key collapse into a single record (paper §III-B2).
+// the same key collapse into a single record (paper §III-B2). Vertices
+// are carried as interned VIDs; the JSON wire format converts them back
+// to stable string keys (see json.go), so saved profiles stay portable.
 type CommKey struct {
-	// VertexKey is the stable PSG key of the MPI vertex that issued the
-	// operation.
-	VertexKey string
+	// VID is the interned ID of the MPI vertex that issued the operation.
+	VID psg.VID
 	// Op is the MPI operation name (mpi_send, mpi_allreduce, ...).
 	Op string
 	// DepRank is the peer this operation depended on (-1 when none).
 	DepRank int
-	// DepVertex is the stable key of the peer's responsible vertex.
-	DepVertex string
+	// DepVID is the interned ID of the peer's responsible vertex
+	// (psg.VIDNone when the dependence has no responsible vertex).
+	DepVID psg.VID
 	// Tag is the message tag (p2p operations).
 	Tag int
 	// Bytes is the per-operation message size.
@@ -110,8 +112,13 @@ type RankProfile struct {
 	Rank int
 	// NP is the job size the profile belongs to.
 	NP int
-	// Vertex performance data keyed by stable vertex key.
-	Vertex map[string]*PerfData
+	// Graph is the PSG whose symbol table Vertex is indexed by. It is
+	// required to serialize the profile (VIDs convert back to stable
+	// string keys on the wire) and is never serialized itself.
+	Graph *psg.Graph
+	// Vertex is dense per-vertex performance data indexed by psg.VID; a
+	// zero-valued entry means the vertex was never sampled on this rank.
+	Vertex []PerfData
 	// Comm holds the compressed communication dependence records.
 	Comm map[CommKey]*CommRecord
 	// Indirect holds runtime indirect-call resolutions.
@@ -120,6 +127,52 @@ type RankProfile struct {
 	EventsSeen    int64
 	EventsSampled int64
 	SamplesTaken  int64
+}
+
+// NewRankProfile returns an empty profile whose dense vertex storage is
+// pre-sized to g's symbol table.
+func NewRankProfile(g *psg.Graph, rank, np int) *RankProfile {
+	return &RankProfile{
+		Rank:     rank,
+		NP:       np,
+		Graph:    g,
+		Vertex:   make([]PerfData, g.NumVIDs()),
+		Comm:     map[CommKey]*CommRecord{},
+		Indirect: map[string]*IndirectRecord{},
+	}
+}
+
+// Active reports whether a dense vertex slot carries attributed data (the
+// equivalent of key presence in the old map representation: a zero-valued
+// slot means the vertex was never sampled).
+func (pd *PerfData) Active() bool {
+	return pd.Samples != 0 || pd.Time != 0 || pd.PMU != (machine.Vec{})
+}
+
+// PerfAt returns the performance data attributed to a vertex on this
+// rank, or nil when the vertex was never sampled (VIDs past the profile's
+// dense storage were materialized after collection and carry no data).
+func (rp *RankProfile) PerfAt(vid psg.VID) *PerfData {
+	if int(vid) >= len(rp.Vertex) {
+		return nil
+	}
+	if pd := &rp.Vertex[vid]; pd.Active() {
+		return pd
+	}
+	return nil
+}
+
+// NumVertexEntries counts the vertices with attributed data — the number
+// of per-vertex records a binary profile writes, and the exact count the
+// old map representation stored.
+func (rp *RankProfile) NumVertexEntries() int {
+	n := 0
+	for i := range rp.Vertex {
+		if rp.Vertex[i].Active() {
+			n++
+		}
+	}
+	return n
 }
 
 // StorageBytes returns the bytes this rank's profile occupies on disk,
@@ -135,7 +188,7 @@ func (rp *RankProfile) StorageBytes() int64 {
 		header        = 64
 	)
 	return header +
-		int64(len(rp.Vertex))*vertexEntry +
+		int64(rp.NumVertexEntries())*vertexEntry +
 		int64(len(rp.Comm))*commEntry +
 		int64(len(rp.Indirect))*indirectEntry
 }
@@ -166,15 +219,9 @@ func New(cfg Config, graph *psg.Graph, rank, np int) *Profiler {
 		cfg.SampleHz = DefaultConfig().SampleHz
 	}
 	return &Profiler{
-		cfg:   cfg,
-		graph: graph,
-		profile: &RankProfile{
-			Rank:     rank,
-			NP:       np,
-			Vertex:   map[string]*PerfData{},
-			Comm:     map[CommKey]*CommRecord{},
-			Indirect: map[string]*IndirectRecord{},
-		},
+		cfg:              cfg,
+		graph:            graph,
+		profile:          NewRankProfile(graph, rank, np),
 		period:           1 / cfg.SampleHz,
 		rng:              rand.New(rand.NewSource(cfg.Seed*31 + int64(rank)*2654435761 + 17)),
 		requestConverter: map[int]srcTag{},
@@ -184,20 +231,24 @@ func New(cfg Config, graph *psg.Graph, rank, np int) *Profiler {
 // Profile returns the collected rank profile.
 func (pr *Profiler) Profile() *RankProfile { return pr.profile }
 
-func (pr *Profiler) perf(key string) *PerfData {
-	pd := pr.profile.Vertex[key]
-	if pd == nil {
-		pd = &PerfData{}
-		pr.profile.Vertex[key] = pd
+// perf returns the dense slot for a vertex. The pre-sizing in New makes
+// the common case a bare bounds check plus index; the growth path only
+// fires when ResolveIndirect's slow path materialized vertices after this
+// profiler was created.
+func (pr *Profiler) perf(vid psg.VID) *PerfData {
+	if int(vid) >= len(pr.profile.Vertex) {
+		grown := make([]PerfData, pr.graph.NumVIDs())
+		copy(grown, pr.profile.Vertex)
+		pr.profile.Vertex = grown
 	}
-	return pd
+	return &pr.profile.Vertex[vid]
 }
 
-func ctxKey(ctx any) string {
+func ctxVID(ctx any) psg.VID {
 	if v, ok := ctx.(*psg.Vertex); ok && v != nil {
-		return v.Key
+		return v.VID
 	}
-	return "root"
+	return psg.VIDRoot
 }
 
 // Advance implements the timer sampler. PMU deltas accumulate in a pending
@@ -210,7 +261,7 @@ func (pr *Profiler) Advance(p *mpisim.Proc, from, to float64, kind mpisim.Advanc
 	if crossings <= 0 {
 		return 0
 	}
-	pd := pr.perf(ctxKey(ctx))
+	pd := pr.perf(ctxVID(ctx))
 	pd.Samples += crossings
 	pd.Time += float64(crossings) * pr.period
 	pd.PMU.Add(pr.pendingPMU)
@@ -253,16 +304,16 @@ func (pr *Profiler) MPIEvent(p *mpisim.Proc, ev *mpisim.Event) float64 {
 	pr.profile.EventsSampled++
 
 	key := CommKey{
-		VertexKey:  ctxKey(ev.Ctx),
+		VID:        ctxVID(ev.Ctx),
 		Op:         ev.Op,
 		DepRank:    ev.DepRank,
-		DepVertex:  ctxKey(ev.DepCtx),
+		DepVID:     ctxVID(ev.DepCtx),
 		Tag:        ev.Tag,
 		Bytes:      ev.Bytes,
 		Collective: ev.Collective,
 	}
 	if ev.DepCtx == nil {
-		key.DepVertex = ""
+		key.DepVID = psg.VIDNone
 	}
 	if !pr.cfg.Compress {
 		// Without graph-guided compression every record is unique.

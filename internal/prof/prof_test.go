@@ -36,7 +36,7 @@ func TestSamplerCrossingCounts(t *testing.T) {
 
 	// Advance 12 ms in one go: crosses t=5ms and t=10ms -> 2 samples.
 	owed := pr.Advance(p, 0, 0.012, mpisim.AdvCompute, v, machine.Vec{100, 200, 50, 1, 80})
-	pd := pr.Profile().Vertex[v.Key]
+	pd := pr.Profile().PerfAt(v.VID)
 	if pd == nil || pd.Samples != 2 {
 		t.Fatalf("samples = %+v, want 2", pd)
 	}
@@ -55,12 +55,12 @@ func TestSamplerCrossingCounts(t *testing.T) {
 	if owed != 0 {
 		t.Errorf("sub-period advance owed %g", owed)
 	}
-	if pr.Profile().Vertex[v.Key].PMU[0] != 100 {
+	if pr.Profile().Vertex[v.VID].PMU[0] != 100 {
 		t.Error("pending PMU flushed too early")
 	}
 	// ...and the next crossing flushes them.
 	pr.Advance(p, 0.013, 0.016, mpisim.AdvCompute, v, machine.Vec{3, 0, 0, 0, 0})
-	if got := pr.Profile().Vertex[v.Key].PMU[0]; got != 110 {
+	if got := pr.Profile().Vertex[v.VID].PMU[0]; got != 110 {
 		t.Errorf("PMU after flush = %g, want 110", got)
 	}
 }
@@ -244,7 +244,7 @@ func TestProfileSetRoundTrip(t *testing.T) {
 	if err := ps.Save(path); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadProfileSet(path)
+	loaded, err := LoadProfileSet(path, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,8 +252,8 @@ func TestProfileSetRoundTrip(t *testing.T) {
 		t.Fatalf("loaded = %+v", loaded)
 	}
 	lp := loaded.Profiles[0]
-	if len(lp.Vertex) != len(pr.Profile().Vertex) {
-		t.Errorf("vertex entries = %d", len(lp.Vertex))
+	if lp.NumVertexEntries() != pr.Profile().NumVertexEntries() {
+		t.Errorf("vertex entries = %d, want %d", lp.NumVertexEntries(), pr.Profile().NumVertexEntries())
 	}
 	if len(lp.Comm) != 1 {
 		t.Fatalf("comm records = %d", len(lp.Comm))
@@ -269,13 +269,21 @@ func TestProfileSetRoundTrip(t *testing.T) {
 }
 
 func TestLoadProfileSetErrors(t *testing.T) {
-	if _, err := LoadProfileSet("/nonexistent/file.json"); err == nil {
+	g := testGraph(t)
+	if _, err := LoadProfileSet("/nonexistent/file.json", g); err == nil {
 		t.Error("missing file should error")
 	}
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte("{not json"), 0o644)
-	if _, err := LoadProfileSet(bad); err == nil {
+	if _, err := LoadProfileSet(bad, g); err == nil {
 		t.Error("bad JSON should error")
+	}
+	// A profile naming a vertex the graph does not contain is a
+	// profile/app mismatch, not silently-dropped data.
+	mismatch := filepath.Join(dir, "mismatch.json")
+	os.WriteFile(mismatch, []byte(`{"app":"x","np":1,"profiles":[{"rank":0,"np":1,"vertex":{"nope:99":{"Samples":1,"Time":0.1,"PMU":[0,0,0,0,0]}}}]}`), 0o644)
+	if _, err := LoadProfileSet(mismatch, g); err == nil {
+		t.Error("unknown vertex key should error")
 	}
 }

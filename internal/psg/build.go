@@ -51,6 +51,12 @@ type Graph struct {
 	byKey     map[string]*Vertex
 	instances []*Instance
 	parents   map[*Instance]*Instance // for recursion detection at runtime
+
+	// Symbol table (see symtab.go): vids is the dense VID -> vertex
+	// binding, vidOf interns stable keys. Both are append-only across
+	// re-finalization.
+	vids  []*Vertex
+	vidOf map[string]VID
 }
 
 // Build constructs the PSG of prog: intra-procedural graphs per function,
@@ -473,4 +479,5 @@ func (g *Graph) finalizeLocked() {
 	walk(g.Root)
 	st.VerticesAfter = len(g.Vertices)
 	g.Stats = st
+	g.assignVIDs()
 }

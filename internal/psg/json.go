@@ -122,6 +122,15 @@ func (g *Graph) CheckInvariants() error {
 		if g.byKey[v.Key] != v {
 			return fmt.Errorf("vertex %s not indexed by key", v)
 		}
+		if int(v.VID) >= len(g.vids) || g.vids[v.VID] != v {
+			return fmt.Errorf("vertex %s not bound in symbol table (VID %d)", v, v.VID)
+		}
+		if g.vidOf[v.Key] != v.VID {
+			return fmt.Errorf("vertex %s key interned as VID %d, vertex carries %d", v, g.vidOf[v.Key], v.VID)
+		}
+	}
+	if g.Root.VID != VIDRoot {
+		return fmt.Errorf("root vertex has VID %d, want %d", g.Root.VID, VIDRoot)
 	}
 	return nil
 }

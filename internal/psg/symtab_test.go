@@ -1,0 +1,113 @@
+package psg
+
+import (
+	"testing"
+
+	"scalana/internal/minilang"
+)
+
+func TestSymbolTableBasics(t *testing.T) {
+	prog := minilang.MustParse("t.mp", `
+func main() {
+	compute(1e5, 1e3, 1e3, 64);
+	for (var i = 0; i < 4; i = i + 1) {
+		mpi_allreduce(8);
+	}
+}`)
+	g := MustBuild(prog)
+	if g.Root.VID != VIDRoot {
+		t.Errorf("root VID = %d, want %d", g.Root.VID, VIDRoot)
+	}
+	if g.NumVIDs() != len(g.Vertices) {
+		t.Errorf("NumVIDs = %d, vertices = %d", g.NumVIDs(), len(g.Vertices))
+	}
+	for _, v := range g.Vertices {
+		if got := g.KeyOf(v.VID); got != v.Key {
+			t.Errorf("KeyOf(%d) = %q, want %q", v.VID, got, v.Key)
+		}
+		if vid, ok := g.VIDOf(v.Key); !ok || vid != v.VID {
+			t.Errorf("VIDOf(%q) = %d,%v, want %d", v.Key, vid, ok, v.VID)
+		}
+		if got := g.VertexByVID(v.VID); got != v {
+			t.Errorf("VertexByVID(%d) = %v, want %v", v.VID, got, v)
+		}
+	}
+	// First finalize assigns VIDs in preorder, so VID == preorder ID.
+	for _, v := range g.Vertices {
+		if int(v.VID) != v.ID {
+			t.Errorf("vertex %s: VID %d != preorder ID %d after first finalize", v, v.VID, v.ID)
+		}
+	}
+	if _, ok := g.VIDOf("nope"); ok {
+		t.Error("unknown key should not resolve")
+	}
+	if g.KeyOf(VIDNone) != "" {
+		t.Error("KeyOf(VIDNone) should be empty")
+	}
+	if g.VertexByVID(VID(1<<30)) != nil {
+		t.Error("out-of-range VID should return nil vertex")
+	}
+	keys := g.Keys()
+	if len(keys) != g.NumVIDs() {
+		t.Fatalf("Keys() length = %d, want %d", len(keys), g.NumVIDs())
+	}
+	for i, key := range keys {
+		if g.KeyOf(VID(i)) != key {
+			t.Errorf("Keys()[%d] = %q disagrees with KeyOf", i, key)
+		}
+	}
+}
+
+// TestSymbolTableStableAcrossRefinement is the append-only guarantee the
+// dense profile storage depends on: the write-locked slow path of
+// ResolveIndirect may renumber preorder IDs, but every already-assigned
+// VID keeps its key.
+func TestSymbolTableStableAcrossRefinement(t *testing.T) {
+	prog := minilang.MustParse("t.mp", `
+func double(x) { return x * 2; }
+func never(x) {
+	for (var i = 0; i < 3; i = i + 1) { compute(10, 1, 1, 64); }
+	return x * 3;
+}
+func main() {
+	var f = &double;
+	var y = f(2);
+	mpi_barrier();
+}`)
+	g := MustBuild(prog)
+	var site minilang.NodeID
+	for _, v := range g.Vertices {
+		if v.IndirectSite {
+			site = v.SiteNode
+		}
+	}
+	if site == 0 {
+		t.Fatal("no indirect site found")
+	}
+	before := g.NumVIDs()
+	keyByVID := make(map[VID]string, before)
+	for _, v := range g.Vertices {
+		keyByVID[v.VID] = v.Key
+	}
+	// "never" is not address-taken, so this exercises the mutating slow
+	// path: materialize, contract, re-finalize.
+	if _, err := g.ResolveIndirect(g.Main, site, "never"); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVIDs() <= before {
+		t.Errorf("symbol table did not grow: %d -> %d", before, g.NumVIDs())
+	}
+	for vid, key := range keyByVID {
+		if got := g.KeyOf(vid); got != key {
+			t.Errorf("VID %d remapped across refinement: %q -> %q", vid, key, got)
+		}
+	}
+	for _, v := range g.Vertices {
+		if int(v.VID) >= g.NumVIDs() {
+			t.Errorf("vertex %s has out-of-table VID %d", v, v.VID)
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -60,6 +60,7 @@ func (k Kind) String() string {
 // children is the control-dependence edge used by backtracking.
 type Vertex struct {
 	ID   int    // dense index in Graph.Vertices, assigned after contraction
+	VID  VID    // interned symbol-table ID, stable across re-finalization
 	Key  string // stable identifier across runs and scales
 	Kind Kind
 	Name string // display name: builtin name, "loop", "branch", ...

@@ -32,12 +32,13 @@ func DefaultConfig() Config {
 	return Config{EventCost: 1.6e-6, RegionGranularity: true}
 }
 
-// Record is one trace record.
+// Record is one trace record. Regions are identified by interned
+// psg.VID, matching the integer region IDs an OTF2 trace stores.
 type Record struct {
 	T      float64
 	Kind   RecordKind
 	Op     string
-	Vertex string
+	Vertex psg.VID
 	Peer   int
 	Tag    int
 	Bytes  float64
@@ -88,11 +89,11 @@ func New(cfg Config, rank int) *Tracer {
 // Trace returns the collected records.
 func (tr *Tracer) Trace() *RankTrace { return tr.trace }
 
-func vertexKey(ctx any) string {
+func ctxVID(ctx any) psg.VID {
 	if v, ok := ctx.(*psg.Vertex); ok && v != nil {
-		return v.Key
+		return v.VID
 	}
-	return "root"
+	return psg.VIDRoot
 }
 
 // Advance logs region enter/exit transitions.
@@ -105,10 +106,10 @@ func (tr *Tracer) Advance(p *mpisim.Proc, from, to float64, kind mpisim.AdvanceK
 	}
 	var owed float64
 	if tr.lastCtx != nil {
-		tr.trace.Records = append(tr.trace.Records, Record{T: from, Kind: RecExit, Vertex: vertexKey(tr.lastCtx), Peer: -1, Dep: -1})
+		tr.trace.Records = append(tr.trace.Records, Record{T: from, Kind: RecExit, Vertex: ctxVID(tr.lastCtx), Peer: -1, Dep: -1})
 		owed += tr.cfg.EventCost
 	}
-	tr.trace.Records = append(tr.trace.Records, Record{T: from, Kind: RecEnter, Vertex: vertexKey(ctx), Peer: -1, Dep: -1})
+	tr.trace.Records = append(tr.trace.Records, Record{T: from, Kind: RecEnter, Vertex: ctxVID(ctx), Peer: -1, Dep: -1})
 	owed += tr.cfg.EventCost
 	tr.lastCtx = ctx
 	return owed
@@ -120,7 +121,7 @@ func (tr *Tracer) MPIEvent(p *mpisim.Proc, ev *mpisim.Event) float64 {
 		T:      ev.TEnd,
 		Kind:   RecComm,
 		Op:     ev.Op,
-		Vertex: vertexKey(ev.Ctx),
+		Vertex: ctxVID(ev.Ctx),
 		Peer:   ev.Peer,
 		Tag:    ev.Tag,
 		Bytes:  ev.Bytes,
@@ -134,7 +135,7 @@ var _ mpisim.Hook = (*Tracer)(nil)
 
 // WaitState is an aggregated wait state found by post-mortem analysis.
 type WaitState struct {
-	Vertex    string
+	Vertex    psg.VID
 	TotalWait float64
 	Count     int64
 	// CauseRanks histograms which remote ranks caused the waiting.
@@ -144,7 +145,7 @@ type WaitState struct {
 // AnalyzeWaitStates scans all rank traces and aggregates waiting time per
 // code region, the first stage of Scalasca's trace analysis.
 func AnalyzeWaitStates(traces []*RankTrace) []WaitState {
-	agg := map[string]*WaitState{}
+	agg := map[psg.VID]*WaitState{}
 	for _, rt := range traces {
 		for _, rec := range rt.Records {
 			if rec.Kind != RecComm || rec.Wait <= 0 {
@@ -178,7 +179,7 @@ func AnalyzeWaitStates(traces []*RankTrace) []WaitState {
 // DelayChainStep is one hop of a backward replay.
 type DelayChainStep struct {
 	Rank   int
-	Vertex string
+	Vertex psg.VID
 	Wait   float64
 }
 

@@ -157,10 +157,11 @@ func main() {
 	// The refined PSG contains vertices for both kernels, with samples on
 	// the heavy one.
 	heavyTime := 0.0
-	for key, row := range out.PPG.Perf {
-		if strings.Contains(key, "@heavyKernel") {
-			for _, pd := range row {
-				heavyTime += pd.Time
+	keys := out.PPG.PSG.Keys()
+	for _, vid := range out.PPG.PresentVIDs() {
+		if strings.Contains(keys[vid], "@heavyKernel") {
+			for _, tm := range out.PPG.TimeSeries(vid) {
+				heavyTime += tm
 			}
 		}
 	}

@@ -183,18 +183,19 @@ func main() {
 	}
 	serial, parallel := sweepOnce(1), sweepOnce(3)
 	for i := range serial {
-		if len(serial[i].PPG.Perf) != len(parallel[i].PPG.Perf) {
+		if len(serial[i].PPG.PresentVIDs()) != len(parallel[i].PPG.PresentVIDs()) {
 			t.Errorf("np=%d: PPG vertex counts differ: %d vs %d",
-				serial[i].NP, len(serial[i].PPG.Perf), len(parallel[i].PPG.Perf))
+				serial[i].NP, len(serial[i].PPG.PresentVIDs()), len(parallel[i].PPG.PresentVIDs()))
 		}
 	}
 	for _, run := range parallel {
 		light, heavy := false, false
-		for key := range run.PPG.Perf {
-			if strings.Contains(key, "@lightKernel") {
+		keys := run.PPG.PSG.Keys()
+		for _, vid := range run.PPG.PresentVIDs() {
+			if strings.Contains(keys[vid], "@lightKernel") {
 				light = true
 			}
-			if strings.Contains(key, "@heavyKernel") {
+			if strings.Contains(keys[vid], "@heavyKernel") {
 				heavy = true
 			}
 		}
@@ -246,8 +247,9 @@ func main() {
 	}
 	for _, run := range runs {
 		found := false
-		for key := range run.PPG.Perf {
-			if strings.Contains(key, "@leaf") {
+		keys := run.PPG.PSG.Keys()
+		for _, vid := range run.PPG.PresentVIDs() {
+			if strings.Contains(keys[vid], "@leaf") {
 				found = true
 			}
 		}
