@@ -103,7 +103,7 @@ func BenchmarkAblationCompression(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				storage = out.StorageBytes
+				storage = out.StorageBytes()
 			}
 			b.ReportMetric(float64(storage), "storage_bytes")
 		})
@@ -213,7 +213,7 @@ func BenchmarkScale2048(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(100*(out.Result.Elapsed-base.Result.Elapsed)/base.Result.Elapsed, "overhead_pct")
-		b.ReportMetric(float64(out.StorageBytes), "storage_bytes")
+		b.ReportMetric(float64(out.StorageBytes()), "storage_bytes")
 	}
 }
 

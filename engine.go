@@ -74,11 +74,15 @@ func (e *Engine) CacheStats() CacheStats {
 	return CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load(), Entries: entries}
 }
 
-// Compile is CompileOptions backed by the engine's cache.
+// Compile is CompileOptions backed by the engine's cache. Options are
+// normalized (psg.Options.Normalize) before keying, so every spelling of
+// the defaults — the zero value, Options{Contract: true}, or
+// DefaultOptions() — shares one cache entry.
 func (e *Engine) Compile(app *App, opts psg.Options) (*minilang.Program, *psg.Graph, error) {
 	if app == nil {
 		return nil, nil, fmt.Errorf("scalana: Engine.Compile: app is nil")
 	}
+	opts = opts.Normalize()
 	key := compileKey{app: app, opts: opts}
 	e.mu.Lock()
 	ent, ok := e.cache[key]
@@ -104,7 +108,7 @@ func (e *Engine) Run(cfg RunConfig) (*RunOutput, error) {
 	if err := validateRunConfig(cfg); err != nil {
 		return nil, err
 	}
-	prog, graph, err := e.Compile(cfg.App, resolvePSGOptions(cfg.PSGOptions))
+	prog, graph, err := e.Compile(cfg.App, cfg.PSGOptions)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +147,7 @@ func (e *Engine) Sweep(app *App, nps []int, cfg SweepConfig) ([]detect.ScaleRun,
 		out, err := e.Run(RunConfig{
 			App:        app,
 			NP:         nps[i],
-			Tool:       ToolScalAna,
+			ToolName:   "scalana",
 			Prof:       cfg.Prof,
 			Seed:       cfg.Seed,
 			PSGOptions: cfg.PSGOptions,
@@ -151,6 +155,6 @@ func (e *Engine) Sweep(app *App, nps []int, cfg SweepConfig) ([]detect.ScaleRun,
 		if err != nil {
 			return detect.ScaleRun{}, err
 		}
-		return detect.ScaleRun{NP: nps[i], PPG: out.PPG}, nil
+		return detect.ScaleRun{NP: nps[i], PPG: out.PPG()}, nil
 	})
 }

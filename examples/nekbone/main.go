@@ -49,15 +49,15 @@ func main() {
 		}
 		lstSum := make([]float64, out.NP)
 		cycSum := make([]float64, out.NP)
-		keys := out.PPG.PSG.Keys()
-		for _, vid := range out.PPG.PresentVIDs() {
+		keys := out.PPG().PSG.Keys()
+		for _, vid := range out.PPG().PresentVIDs() {
 			if !strings.Contains(keys[vid], "@dgemm") {
 				continue
 			}
-			for i, v := range out.PPG.PMUSeries(vid, machine.TotLstIns) {
+			for i, v := range out.PPG().PMUSeries(vid, machine.TotLstIns) {
 				lstSum[i] += v
 			}
-			for i, v := range out.PPG.PMUSeries(vid, machine.TotCyc) {
+			for i, v := range out.PPG().PMUSeries(vid, machine.TotCyc) {
 				cycSum[i] += v
 			}
 		}

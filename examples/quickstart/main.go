@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 
+	"scalana/internal/commmatrix"
 	"scalana/internal/detect"
 	"scalana/internal/prof"
 
@@ -43,4 +44,15 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(report.Render(prog))
+
+	// Bonus: any registered measurement tool attaches by name — here the
+	// comm-matrix collector, which registers itself on import and which
+	// the run API dispatches to without knowing it exists.
+	out, err := scalana.Run(scalana.RunConfig{App: app, NP: 16, ToolName: "commmatrix"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := out.Measurement.Data().(*commmatrix.Matrix)
+	fmt.Printf("\np2p traffic at np=16: %.1f MB across %d rank pairs (tools: %v)\n",
+		m.TotalBytes()/1e6, len(m.TopFlows(1<<30)), scalana.Tools())
 }

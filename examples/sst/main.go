@@ -47,12 +47,12 @@ func main() {
 			log.Fatal(err)
 		}
 		var lo, hi, sum float64
-		keys := out.PPG.PSG.Keys()
-		for _, vid := range out.PPG.PresentVIDs() {
+		keys := out.PPG().PSG.Keys()
+		for _, vid := range out.PPG().PresentVIDs() {
 			if !strings.Contains(keys[vid], "@handleEvent") {
 				continue
 			}
-			for _, v := range out.PPG.PMUSeries(vid, machine.TotIns) {
+			for _, v := range out.PPG().PMUSeries(vid, machine.TotIns) {
 				if lo == 0 || v < lo {
 					lo = v
 				}

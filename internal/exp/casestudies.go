@@ -117,7 +117,7 @@ func fig7() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	abV, vals := heaviestVertex(detect.ScaleRun{NP: 16, PPG: out.PPG}, psg.KindComp, machine.TotCyc)
+	abV, vals := heaviestVertex(detect.ScaleRun{NP: 16, PPG: out.PPG()}, psg.KindComp, machine.TotCyc)
 	if abV == nil {
 		return nil, fmt.Errorf("fig7: no Comp vertex with attributed time in the imbalanced stencil run")
 	}
@@ -331,12 +331,12 @@ func handleEventSeries(appName string, c machine.Counter) ([]float64, error) {
 		return nil, err
 	}
 	sum := make([]float64, out.NP)
-	keys := out.PPG.PSG.Keys()
-	for _, vid := range out.PPG.PresentVIDs() {
+	keys := out.PPG().PSG.Keys()
+	for _, vid := range out.PPG().PresentVIDs() {
 		if !strings.Contains(keys[vid], "@handleEvent") {
 			continue
 		}
-		for i, v := range out.PPG.PMUSeries(vid, c) {
+		for i, v := range out.PPG().PMUSeries(vid, c) {
 			sum[i] += v
 		}
 	}
@@ -352,12 +352,12 @@ func fig16() (*Result, error) {
 			return nil, err
 		}
 		sum := make([]float64, out.NP)
-		keys := out.PPG.PSG.Keys()
-		for _, vid := range out.PPG.PresentVIDs() {
+		keys := out.PPG().PSG.Keys()
+		for _, vid := range out.PPG().PresentVIDs() {
 			if !strings.Contains(keys[vid], "@dgemm") {
 				continue
 			}
-			for i, v := range out.PPG.PMUSeries(vid, c) {
+			for i, v := range out.PPG().PMUSeries(vid, c) {
 				sum[i] += v
 			}
 		}

@@ -128,7 +128,8 @@ func sweep(app *scalana.App, nps []int) ([]detect.ScaleRun, error) {
 }
 
 // runTools executes app at np with no tool and with each of the three
-// tools, returning overhead percentages and storage bytes.
+// registry-resolved comparison tools, returning overhead percentages and
+// storage bytes keyed by registered tool name.
 func runTools(app *scalana.App, np int) (ovh map[string]float64, storage map[string]int64, err error) {
 	base, err := eng.Run(scalana.RunConfig{App: app, NP: np})
 	if err != nil {
@@ -136,20 +137,13 @@ func runTools(app *scalana.App, np int) (ovh map[string]float64, storage map[str
 	}
 	ovh = map[string]float64{}
 	storage = map[string]int64{}
-	for _, tc := range []struct {
-		name string
-		tool scalana.Tool
-	}{
-		{"scalana", scalana.ToolScalAna},
-		{"hpctk", scalana.ToolCallPath},
-		{"tracer", scalana.ToolTracer},
-	} {
-		out, err := eng.Run(scalana.RunConfig{App: app, NP: np, Tool: tc.tool})
+	for _, name := range []string{"scalana", "hpctk", "tracer"} {
+		out, err := eng.Run(scalana.RunConfig{App: app, NP: np, ToolName: name})
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s with %s: %w", app.Name, tc.name, err)
+			return nil, nil, fmt.Errorf("%s with %s: %w", app.Name, name, err)
 		}
-		ovh[tc.name] = 100 * (out.Result.Elapsed - base.Result.Elapsed) / base.Result.Elapsed
-		storage[tc.name] = out.StorageBytes
+		ovh[name] = 100 * (out.Result.Elapsed - base.Result.Elapsed) / base.Result.Elapsed
+		storage[name] = out.StorageBytes()
 	}
 	return ovh, storage, nil
 }

@@ -76,17 +76,17 @@ func fig6() (*Result, error) {
 	headers := []string{"Vertex", "Kind", "Line", "Time(rank0)", "TOT_INS(rank0)", "TOT_LST(rank0)"}
 	var rows [][]string
 	for _, v := range out.Graph.Vertices {
-		if !out.PPG.Present(v.VID) || v.Kind == psg.KindRoot {
+		if !out.PPG().Present(v.VID) || v.Kind == psg.KindRoot {
 			continue
 		}
-		pd := out.PPG.PerfAt(v.VID, 0)
+		pd := out.PPG().PerfAt(v.VID, 0)
 		rows = append(rows, []string{v.Key, v.Kind.String(), fmt.Sprintf("%d", v.Pos.Line),
 			report.Seconds(pd.Time), fmt.Sprintf("%.3g", pd.PMU[0]), fmt.Sprintf("%.3g", pd.PMU[2])})
 	}
 	r.addf("%s\n", report.Table("vertex performance data (rank 0)", headers, rows))
 
 	var erows [][]string
-	for from, edges := range out.PPG.Edges {
+	for from, edges := range out.PPG().Edges {
 		for _, e := range edges {
 			erows = append(erows, []string{out.Graph.KeyOf(from.VID), fmt.Sprintf("%d", from.Rank),
 				out.Graph.KeyOf(e.PeerVID), fmt.Sprintf("%d", e.PeerRank),
@@ -99,7 +99,7 @@ func fig6() (*Result, error) {
 	}
 	r.addf("%s", report.Table("inter-process dependence edges (first 24)",
 		[]string{"From vertex", "Rank", "To vertex", "To rank", "Count", "Total wait"}, erows))
-	r.Values["edges"] = float64(out.PPG.NumEdges())
+	r.Values["edges"] = float64(out.PPG().NumEdges())
 	r.Values["vertices"] = float64(len(out.Graph.Vertices))
 	return r, nil
 }

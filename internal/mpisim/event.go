@@ -86,8 +86,18 @@ type Event struct {
 	// (or -1).
 	Collective bool
 	Root       int
-	// Requests is the number of requests completed (for waitall).
+	// Requests is the number of requests completed (for waitall; counts
+	// send and receive requests alike).
 	Requests int
+	// RecvRequests is the number of completed receive requests (for
+	// waitall; Bytes aggregates exactly these).
+	RecvRequests int
+	// SendPeer and SendBytes carry the send half of a combined sendrecv
+	// (EvSendrecv only, where Peer/Bytes describe the whole exchange:
+	// Peer is the matched receive source and Bytes the combined payload).
+	// SendPeer is -1 for every other event kind.
+	SendPeer  int
+	SendBytes float64
 	// ReqID is the request handle for isend/irecv/wait events (0 if none);
 	// the ScalAna PMPI layer keys its request-converter map on it
 	// (paper Fig. 5).

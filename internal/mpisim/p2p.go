@@ -357,7 +357,7 @@ func (p *Proc) Waitall() {
 	depRank := -1
 	var depCtx any
 	var totalBytes float64
-	n := 0
+	n, nRecv := 0, 0
 	for _, id := range order {
 		r := p.reqs[id]
 		if r == nil {
@@ -368,6 +368,7 @@ func (p *Proc) Waitall() {
 			p.dropRequest(id)
 			continue
 		}
+		nRecv++
 		info := p.resolve(r)
 		totalBytes += info.bytes
 		if info.tArrive > lastArrive {
@@ -382,7 +383,8 @@ func (p *Proc) Waitall() {
 		p.advance(totalBytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
 	}
 	p.emit(&Event{Kind: EvWaitall, Op: "mpi_waitall", Peer: depRank, Tag: 0, Bytes: totalBytes,
-		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: depRank, DepCtx: depCtx, Root: -1, Requests: n})
+		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: depRank, DepCtx: depCtx, Root: -1,
+		Requests: n, RecvRequests: nRecv})
 }
 
 // Sendrecv performs a combined exchange: both transfers proceed
@@ -398,7 +400,8 @@ func (p *Proc) Sendrecv(dst, stag int, sbytes float64, src, rtag int, rbytes flo
 	wait := p.waitUntil(info.tArrive)
 	p.advance(info.bytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
 	p.emit(&Event{Kind: EvSendrecv, Op: "mpi_sendrecv", Peer: info.from, Tag: rtag, Bytes: sbytes + info.bytes,
-		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: info.from, DepCtx: info.ctx, Root: -1})
+		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: info.from, DepCtx: info.ctx, Root: -1,
+		SendPeer: dst, SendBytes: sbytes})
 }
 
 // Outstanding reports the number of pending requests (testing aid).

@@ -223,6 +223,9 @@ func (p *Proc) advance(dt float64, kind AdvanceKind, pmu machine.Vec) {
 func (p *Proc) emit(ev *Event) {
 	ev.Rank = p.Rank
 	ev.Ctx = p.Ctx
+	if ev.Kind != EvSendrecv {
+		ev.SendPeer = -1
+	}
 	var owed float64
 	for _, h := range p.rawHooks {
 		owed += h.MPIEvent(p, ev)

@@ -21,6 +21,22 @@ type Options struct {
 // DefaultOptions mirror the paper's evaluation setup.
 func DefaultOptions() Options { return Options{MaxLoopDepth: 10, Contract: true} }
 
+// Normalize canonicalizes user-supplied options: the zero value means
+// "paper defaults" (the contract of RunConfig.PSGOptions), and any other
+// value with a non-positive MaxLoopDepth gets the default depth. Run and
+// Engine.Compile normalize through this method before building or cache
+// keying, so Options{Contract: true} and DefaultOptions() are the same
+// compilation — and the same cache entry.
+func (o Options) Normalize() Options {
+	if o == (Options{}) {
+		return DefaultOptions()
+	}
+	if o.MaxLoopDepth <= 0 {
+		o.MaxLoopDepth = DefaultOptions().MaxLoopDepth
+	}
+	return o
+}
+
 // Stats summarizes the built graph (paper Table II columns).
 type Stats struct {
 	VerticesBefore int // #VBC

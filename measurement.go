@@ -1,0 +1,102 @@
+package scalana
+
+import (
+	"scalana/internal/hpctk"
+	"scalana/internal/ppg"
+	"scalana/internal/prof"
+	"scalana/internal/trace"
+)
+
+// Measurement is the unified result of one measurement tool's
+// collection: the tool that produced it, the total measurement-data
+// size, and a tool-specific payload. The typed accessors below cover the
+// bundled tools; externally registered tools expose their results
+// through Data. All accessors are nil-receiver safe, so callers can
+// chain through a bare run's nil Measurement.
+type Measurement struct {
+	tool    string
+	storage int64
+	data    any
+}
+
+// ScalAnaData is the payload of the "scalana" tool: per-rank profiles
+// plus the assembled Program Performance Graph.
+type ScalAnaData struct {
+	Profiles []*prof.RankProfile
+	PPG      *ppg.Graph
+}
+
+// ToolName returns the registered name of the tool that produced the
+// measurement.
+func (m *Measurement) ToolName() string {
+	if m == nil {
+		return ""
+	}
+	return m.tool
+}
+
+// StorageBytes is the tool's total measurement-data size across ranks.
+func (m *Measurement) StorageBytes() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.storage
+}
+
+// Data returns the tool-specific payload (the value ToolRun.Finish
+// produced). Externally registered tools document their own payload
+// type; the bundled tools are covered by the typed accessors.
+func (m *Measurement) Data() any {
+	if m == nil {
+		return nil
+	}
+	return m.data
+}
+
+// Profiles returns the per-rank ScalAna profiles, or nil when the
+// measurement was not produced by the "scalana" tool.
+func (m *Measurement) Profiles() []*prof.RankProfile {
+	if m == nil {
+		return nil
+	}
+	if d, ok := m.data.(*ScalAnaData); ok {
+		return d.Profiles
+	}
+	return nil
+}
+
+// PPG returns the assembled Program Performance Graph, or nil when the
+// measurement was not produced by the "scalana" tool.
+func (m *Measurement) PPG() *ppg.Graph {
+	if m == nil {
+		return nil
+	}
+	if d, ok := m.data.(*ScalAnaData); ok {
+		return d.PPG
+	}
+	return nil
+}
+
+// Traces returns the per-rank traces, or nil when the measurement was
+// not produced by the "tracer" tool.
+func (m *Measurement) Traces() []*trace.RankTrace {
+	if m == nil {
+		return nil
+	}
+	if d, ok := m.data.([]*trace.RankTrace); ok {
+		return d
+	}
+	return nil
+}
+
+// CtxProfiles returns the per-rank call-path profiles, or nil when the
+// measurement was not produced by the "hpctk" tool.
+func (m *Measurement) CtxProfiles() []*hpctk.RankProfile {
+	if m == nil {
+		return nil
+	}
+	if d, ok := m.data.([]*hpctk.RankProfile); ok {
+		return d
+	}
+	return nil
+}

@@ -35,7 +35,10 @@ import (
 	"scalana/internal/trace"
 )
 
-// Tool selects the measurement tool attached to a run.
+// Tool is legacy sugar for selecting a bundled measurement tool. The run
+// API dispatches on registered tool names (RunConfig.ToolName,
+// RegisterTool); the enum constants below resolve to those names via
+// ToolName, so existing call sites keep working unchanged.
 type Tool int
 
 // Available tools.
@@ -62,6 +65,20 @@ func (t Tool) String() string {
 		return "HPCToolkit-like profiler"
 	}
 	return "unknown"
+}
+
+// ToolName resolves the enum value to the registered tool name it is
+// sugar for ("" for ToolNone and for values outside the enum).
+func (t Tool) ToolName() string {
+	switch t {
+	case ToolScalAna:
+		return "scalana"
+	case ToolTracer:
+		return "tracer"
+	case ToolCallPath:
+		return "hpctk"
+	}
+	return ""
 }
 
 // App re-exports the workload type.
@@ -99,8 +116,14 @@ func CompileOptions(app *App, opts psg.Options) (*minilang.Program, *psg.Graph, 
 
 // RunConfig configures one profiled execution.
 type RunConfig struct {
-	App  *App
-	NP   int
+	App *App
+	NP  int
+	// ToolName selects a registered measurement tool by name (see
+	// RegisterTool / Tools). Empty means no tool unless the legacy Tool
+	// enum below selects one.
+	ToolName string
+	// Tool is the legacy enum selector, kept as sugar: it resolves to a
+	// registered name via Tool.ToolName. ToolName wins when both are set.
 	Tool Tool
 	// Prof configures the ScalAna profiler (zero value = paper defaults).
 	Prof prof.Config
@@ -108,6 +131,9 @@ type RunConfig struct {
 	Trace trace.Config
 	// CallPath configures the call-path profiler baseline.
 	CallPath hpctk.Config
+	// ToolOptions carries configuration for externally registered tools;
+	// their NewRun type-asserts it (nil = tool defaults).
+	ToolOptions any
 	// Seed makes runs reproducible; runs with equal seeds are identical.
 	Seed int64
 	// Stdout receives application print() output (nil discards).
@@ -116,24 +142,56 @@ type RunConfig struct {
 	PSGOptions psg.Options
 }
 
+// resolveTool maps the config's tool selection to a registered name:
+// ToolName wins, otherwise the legacy enum resolves through
+// Tool.ToolName. Empty means a bare run.
+func (cfg RunConfig) resolveTool() (string, error) {
+	if cfg.ToolName != "" {
+		return cfg.ToolName, nil
+	}
+	if cfg.Tool == ToolNone {
+		return "", nil
+	}
+	name := cfg.Tool.ToolName()
+	if name == "" {
+		return "", fmt.Errorf("scalana: Tool(%d) is not a known tool enum value", int(cfg.Tool))
+	}
+	return name, nil
+}
+
 // RunOutput is the result of one execution.
 type RunOutput struct {
-	App    *App
-	NP     int
-	Tool   Tool
+	App *App
+	NP  int
+	// Tool is the resolved registered tool name ("" for a bare run).
+	Tool   string
 	Result mpisim.RunResult
 	Graph  *psg.Graph
-	// Profiles holds per-rank ScalAna profiles (ToolScalAna only).
-	Profiles []*prof.RankProfile
-	// Traces holds per-rank traces (ToolTracer only).
-	Traces []*trace.RankTrace
-	// CtxProfiles holds per-rank call-path profiles (ToolCallPath only).
-	CtxProfiles []*hpctk.RankProfile
-	// PPG is the assembled Program Performance Graph (ToolScalAna only).
-	PPG *ppg.Graph
-	// StorageBytes is the tool's total measurement data size.
-	StorageBytes int64
+	// Measurement is the attached tool's collected result (nil for bare
+	// runs). The typed accessors below forward to it, so pre-registry
+	// callers migrate by adding parentheses.
+	Measurement *Measurement
 }
+
+// Profiles returns the per-rank ScalAna profiles ("scalana" tool runs
+// only). Compatibility accessor for Measurement.Profiles.
+func (o *RunOutput) Profiles() []*prof.RankProfile { return o.Measurement.Profiles() }
+
+// Traces returns the per-rank traces ("tracer" tool runs only).
+// Compatibility accessor for Measurement.Traces.
+func (o *RunOutput) Traces() []*trace.RankTrace { return o.Measurement.Traces() }
+
+// CtxProfiles returns the per-rank call-path profiles ("hpctk" tool runs
+// only). Compatibility accessor for Measurement.CtxProfiles.
+func (o *RunOutput) CtxProfiles() []*hpctk.RankProfile { return o.Measurement.CtxProfiles() }
+
+// PPG returns the assembled Program Performance Graph ("scalana" tool
+// runs only). Compatibility accessor for Measurement.PPG.
+func (o *RunOutput) PPG() *ppg.Graph { return o.Measurement.PPG() }
+
+// StorageBytes is the tool's total measurement data size (0 for bare
+// runs). Compatibility accessor for Measurement.StorageBytes.
+func (o *RunOutput) StorageBytes() int64 { return o.Measurement.StorageBytes() }
 
 // validateRunConfig checks the parts of a RunConfig that both Run and
 // RunCompiled depend on.
@@ -147,15 +205,6 @@ func validateRunConfig(cfg RunConfig) error {
 	return nil
 }
 
-// resolvePSGOptions applies the default PSG options when the RunConfig
-// left them zero.
-func resolvePSGOptions(opts psg.Options) psg.Options {
-	if opts.MaxLoopDepth == 0 && !opts.Contract {
-		return psg.DefaultOptions()
-	}
-	return opts
-}
-
 // Run executes the app at one scale with the configured tool. It is the
 // compile phase (CompileOptions) followed by the execute phase
 // (RunCompiled); multi-run workloads should compile once — through an
@@ -165,7 +214,7 @@ func Run(cfg RunConfig) (*RunOutput, error) {
 	if err := validateRunConfig(cfg); err != nil {
 		return nil, err
 	}
-	prog, graph, err := CompileOptions(cfg.App, resolvePSGOptions(cfg.PSGOptions))
+	prog, graph, err := CompileOptions(cfg.App, cfg.PSGOptions.Normalize())
 	if err != nil {
 		return nil, err
 	}
@@ -179,6 +228,11 @@ func Run(cfg RunConfig) (*RunOutput, error) {
 // can produce is pre-materialized at compile time (psg.Build), so runs
 // only read it, and sharing one graph across a sweep changes neither
 // profiles nor detection output.
+//
+// The tool is resolved through the registry (RegisterTool); RunCompiled
+// itself knows nothing about individual tools — it drives the generic
+// ToolRun lifecycle (HooksForRank before execution, concurrent
+// FinalizeRank after, one Finish at the end).
 func RunCompiled(prog *minilang.Program, graph *psg.Graph, cfg RunConfig) (*RunOutput, error) {
 	if err := validateRunConfig(cfg); err != nil {
 		return nil, err
@@ -186,59 +240,37 @@ func RunCompiled(prog *minilang.Program, graph *psg.Graph, cfg RunConfig) (*RunO
 	if prog == nil || graph == nil {
 		return nil, fmt.Errorf("scalana: RunCompiled needs a compiled program and graph")
 	}
+	name, err := cfg.resolveTool()
+	if err != nil {
+		return nil, err
+	}
 
-	out := &RunOutput{App: cfg.App, NP: cfg.NP, Tool: cfg.Tool, Graph: graph}
-	var profilers []*prof.Profiler
-	var tracers []*trace.Tracer
-	var ctxProfs []*hpctk.Profiler
-
+	out := &RunOutput{App: cfg.App, NP: cfg.NP, Tool: name, Graph: graph}
 	wcfg := mpisim.Config{NP: cfg.NP, Seed: cfg.Seed}
 	if cfg.App.CoreConfig != nil {
 		wcfg.Core = cfg.App.CoreConfig(cfg.NP)
 	}
-	switch cfg.Tool {
-	case ToolScalAna:
-		pc := cfg.Prof
-		if pc.SampleHz == 0 {
-			pc = prof.DefaultConfig()
-			pc.Seed = cfg.Seed
+
+	var trun ToolRun
+	if name != "" {
+		tool, ok := LookupTool(name)
+		if !ok {
+			return nil, fmt.Errorf("scalana: no measurement tool registered as %q (registered: %v)", name, Tools())
 		}
-		profilers = make([]*prof.Profiler, cfg.NP)
-		wcfg.HookFactory = func(rank int) []mpisim.Hook {
-			pr := prof.New(pc, graph, rank, cfg.NP)
-			profilers[rank] = pr
-			return []mpisim.Hook{pr}
+		trun, err = tool.NewRun(ToolContext{Config: cfg, Graph: graph})
+		if err != nil {
+			return nil, fmt.Errorf("scalana: set up tool %s: %w", name, err)
 		}
-	case ToolTracer:
-		tc := cfg.Trace
-		if tc.EventCost == 0 {
-			tc = trace.DefaultConfig()
+		if trun == nil {
+			return nil, fmt.Errorf("scalana: tool %s returned no run", name)
 		}
-		tracers = make([]*trace.Tracer, cfg.NP)
-		wcfg.HookFactory = func(rank int) []mpisim.Hook {
-			tr := trace.New(tc, rank)
-			tracers[rank] = tr
-			return []mpisim.Hook{tr}
-		}
-	case ToolCallPath:
-		hc := cfg.CallPath
-		if hc.SampleHz == 0 {
-			hc = hpctk.DefaultConfig()
-		}
-		ctxProfs = make([]*hpctk.Profiler, cfg.NP)
-		wcfg.HookFactory = func(rank int) []mpisim.Hook {
-			pr := hpctk.New(hc, rank)
-			ctxProfs[rank] = pr
-			return []mpisim.Hook{pr}
-		}
+		wcfg.HookFactory = trun.HooksForRank
 	}
 
 	runner := interp.NewRunner(prog, graph)
 	runner.Stdout = cfg.Stdout
-	if cfg.Tool == ToolScalAna {
-		runner.OnIndirect = func(rank int, inst *psg.Instance, site minilang.NodeID, target string) {
-			profilers[rank].ObserveIndirect(rank, inst, site, target)
-		}
+	if obs, ok := trun.(IndirectObserver); ok {
+		runner.OnIndirect = obs.ObserveIndirect
 	}
 
 	world := mpisim.NewWorld(wcfg)
@@ -248,38 +280,25 @@ func RunCompiled(prog *minilang.Program, graph *psg.Graph, cfg RunConfig) (*RunO
 	}
 	out.Result = res
 
+	if trun == nil {
+		return out, nil
+	}
 	// Per-rank finalization (profile extraction and storage sizing) is
 	// independent across ranks; fan it out and reduce the byte counts in
 	// rank order so the sum is reproducible.
 	storage := make([]int64, cfg.NP)
-	switch cfg.Tool {
-	case ToolScalAna:
-		out.Profiles = make([]*prof.RankProfile, cfg.NP)
-		par.ForEach(cfg.NP, 0, func(r int) {
-			out.Profiles[r] = profilers[r].Profile()
-			storage[r] = out.Profiles[r].StorageBytes()
-		})
-		pg, err := ppg.Build(graph, out.Profiles)
-		if err != nil {
-			return nil, fmt.Errorf("scalana: assemble PPG: %w", err)
-		}
-		out.PPG = pg
-	case ToolTracer:
-		out.Traces = make([]*trace.RankTrace, cfg.NP)
-		par.ForEach(cfg.NP, 0, func(r int) {
-			out.Traces[r] = tracers[r].Trace()
-			storage[r] = out.Traces[r].StorageBytes()
-		})
-	case ToolCallPath:
-		out.CtxProfiles = make([]*hpctk.RankProfile, cfg.NP)
-		par.ForEach(cfg.NP, 0, func(r int) {
-			out.CtxProfiles[r] = ctxProfs[r].Profile()
-			storage[r] = out.CtxProfiles[r].StorageBytes()
-		})
+	par.ForEach(cfg.NP, 0, func(r int) {
+		storage[r] = trun.FinalizeRank(r)
+	})
+	data, err := trun.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("scalana: finalize %s: %w", name, err)
 	}
+	m := &Measurement{tool: name, data: data}
 	for _, s := range storage {
-		out.StorageBytes += s
+		m.storage += s
 	}
+	out.Measurement = m
 	return out, nil
 }
 

@@ -66,11 +66,11 @@ func TestRunProducesToolOutputs(t *testing.T) {
 		has  func(*RunOutput) bool
 	}{
 		{ToolNone, func(o *RunOutput) bool {
-			return o.Profiles == nil && o.Traces == nil && o.CtxProfiles == nil && o.StorageBytes == 0
+			return o.Profiles() == nil && o.Traces() == nil && o.CtxProfiles() == nil && o.StorageBytes() == 0
 		}},
-		{ToolScalAna, func(o *RunOutput) bool { return len(o.Profiles) == 8 && o.PPG != nil && o.StorageBytes > 0 }},
-		{ToolTracer, func(o *RunOutput) bool { return len(o.Traces) == 8 && o.StorageBytes > 0 }},
-		{ToolCallPath, func(o *RunOutput) bool { return len(o.CtxProfiles) == 8 && o.StorageBytes > 0 }},
+		{ToolScalAna, func(o *RunOutput) bool { return len(o.Profiles()) == 8 && o.PPG() != nil && o.StorageBytes() > 0 }},
+		{ToolTracer, func(o *RunOutput) bool { return len(o.Traces()) == 8 && o.StorageBytes() > 0 }},
+		{ToolCallPath, func(o *RunOutput) bool { return len(o.CtxProfiles()) == 8 && o.StorageBytes() > 0 }},
 	} {
 		out, err := Run(RunConfig{App: app, NP: 8, Tool: tc.tool})
 		if err != nil {
@@ -95,8 +95,8 @@ func TestRunsAreReproducibleWithSeed(t *testing.T) {
 	if a.Result.Elapsed != b.Result.Elapsed {
 		t.Errorf("elapsed differs: %g vs %g", a.Result.Elapsed, b.Result.Elapsed)
 	}
-	if a.StorageBytes != b.StorageBytes {
-		t.Errorf("storage differs: %d vs %d", a.StorageBytes, b.StorageBytes)
+	if a.StorageBytes() != b.StorageBytes() {
+		t.Errorf("storage differs: %d vs %d", a.StorageBytes(), b.StorageBytes())
 	}
 }
 
@@ -146,7 +146,7 @@ func main() {
 	}
 	// Both targets observed at run time.
 	targets := map[string]bool{}
-	for _, rp := range out.Profiles {
+	for _, rp := range out.Profiles() {
 		for _, rec := range rp.Indirect {
 			targets[rec.Target] = true
 		}
@@ -157,10 +157,10 @@ func main() {
 	// The refined PSG contains vertices for both kernels, with samples on
 	// the heavy one.
 	heavyTime := 0.0
-	keys := out.PPG.PSG.Keys()
-	for _, vid := range out.PPG.PresentVIDs() {
+	keys := out.PPG().PSG.Keys()
+	for _, vid := range out.PPG().PresentVIDs() {
 		if strings.Contains(keys[vid], "@heavyKernel") {
-			for _, tm := range out.PPG.TimeSeries(vid) {
+			for _, tm := range out.PPG().TimeSeries(vid) {
 				heavyTime += tm
 			}
 		}

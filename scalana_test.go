@@ -192,12 +192,12 @@ func TestToolOverheadOrdering(t *testing.T) {
 		return 100 * (o.Result.Elapsed - base.Result.Elapsed) / base.Result.Elapsed
 	}
 	t.Logf("overhead%%: scalana=%.2f hpctk=%.2f tracer=%.2f", ovh(scal), ovh(hpc), ovh(trc))
-	t.Logf("storage: scalana=%d hpctk=%d tracer=%d", scal.StorageBytes, hpc.StorageBytes, trc.StorageBytes)
+	t.Logf("storage: scalana=%d hpctk=%d tracer=%d", scal.StorageBytes(), hpc.StorageBytes(), trc.StorageBytes())
 	if !(ovh(trc) > ovh(scal)) {
 		t.Errorf("tracer overhead (%.2f%%) should exceed ScalAna (%.2f%%)", ovh(trc), ovh(scal))
 	}
-	if !(scal.StorageBytes < hpc.StorageBytes && hpc.StorageBytes < trc.StorageBytes) {
+	if !(scal.StorageBytes() < hpc.StorageBytes() && hpc.StorageBytes() < trc.StorageBytes()) {
 		t.Errorf("storage ordering violated: scalana=%d hpctk=%d tracer=%d",
-			scal.StorageBytes, hpc.StorageBytes, trc.StorageBytes)
+			scal.StorageBytes(), hpc.StorageBytes(), trc.StorageBytes())
 	}
 }

@@ -102,11 +102,11 @@ func TestRunCompiledMatchesRun(t *testing.T) {
 	if oneShot.Result.Elapsed != split.Result.Elapsed {
 		t.Errorf("elapsed differs: %g vs %g", oneShot.Result.Elapsed, split.Result.Elapsed)
 	}
-	if oneShot.StorageBytes != split.StorageBytes {
-		t.Errorf("storage differs: %d vs %d", oneShot.StorageBytes, split.StorageBytes)
+	if oneShot.StorageBytes() != split.StorageBytes() {
+		t.Errorf("storage differs: %d vs %d", oneShot.StorageBytes(), split.StorageBytes())
 	}
-	if len(oneShot.PPG.Perf) != len(split.PPG.Perf) {
-		t.Errorf("PPG vertex counts differ: %d vs %d", len(oneShot.PPG.Perf), len(split.PPG.Perf))
+	if len(oneShot.PPG().Perf) != len(split.PPG().Perf) {
+		t.Errorf("PPG vertex counts differ: %d vs %d", len(oneShot.PPG().Perf), len(split.PPG().Perf))
 	}
 }
 
@@ -130,9 +130,9 @@ func TestEngineRunSharesGraphAcrossRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fresh.Result.Elapsed != b.Result.Elapsed || fresh.StorageBytes != b.StorageBytes {
+	if fresh.Result.Elapsed != b.Result.Elapsed || fresh.StorageBytes() != b.StorageBytes() {
 		t.Errorf("shared-graph run differs from fresh-compile run: elapsed %g vs %g, storage %d vs %d",
-			b.Result.Elapsed, fresh.Result.Elapsed, b.StorageBytes, fresh.StorageBytes)
+			b.Result.Elapsed, fresh.Result.Elapsed, b.StorageBytes(), fresh.StorageBytes())
 	}
 }
 

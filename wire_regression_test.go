@@ -93,8 +93,8 @@ func TestWireFormatSaveReloadReportIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		live = append(live, detect.ScaleRun{NP: np, PPG: out.PPG})
-		ps := &prof.ProfileSet{App: app.Name, NP: np, Elapsed: out.Result.Elapsed, Profiles: out.Profiles}
+		live = append(live, detect.ScaleRun{NP: np, PPG: out.PPG()})
+		ps := &prof.ProfileSet{App: app.Name, NP: np, Elapsed: out.Result.Elapsed, Profiles: out.Profiles()}
 		path := filepath.Join(dir, fixtureName(app.Name, np))
 		if err := ps.Save(path); err != nil {
 			t.Fatal(err)
