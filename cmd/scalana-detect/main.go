@@ -8,6 +8,13 @@
 //	scalana-detect -app zeusmp -scales 8,16,32,64
 //	scalana-detect -app zeusmp -scales 8,16,32,64 -parallel 4
 //	scalana-detect -app cg -scales 4,8,16 -abnorm-thd 1.5 -profiles dir/
+//	scalana-detect -app zeusmp -scales 8,16,32 -expect-cause bval3d
+//	scalana-detect -app cg -scales 4,8,16 -json report.json
+//
+// With -expect-cause, the command exits non-zero unless some reported
+// root cause matches the substring (vertex key, name, or file:line) —
+// and, in particular, whenever the report contains no causes at all —
+// so CI gates and scripts can assert detection results directly.
 //
 // The app is compiled once for the whole sweep and the scales execute
 // concurrently on -parallel workers (0 = one per CPU, 1 = one scale at
@@ -41,6 +48,9 @@ func main() {
 	topK := flag.Int("topk", 10, "maximum non-scalable vertices reported")
 	profilesDir := flag.String("profiles", "", "directory of saved scalana-prof outputs")
 	parallel := flag.Int("parallel", 0, "scales profiled concurrently (0 = one per CPU, 1 = one scale at a time)")
+	expectCause := flag.String("expect-cause", "", "exit non-zero unless a reported root cause matches this substring")
+	commCauses := flag.Bool("comm-causes", false, "admit non-scalable collectives as root-cause candidates (detect.Config.CommCauses)")
+	jsonOut := flag.String("json", "", "also write the report as JSON to this file ('-' for stdout)")
 	flag.Parse()
 
 	app := scalana.GetApp(*appName)
@@ -101,6 +111,7 @@ func main() {
 	dcfg := detect.DefaultConfig()
 	dcfg.AbnormThd = *abnormThd
 	dcfg.TopK = *topK
+	dcfg.CommCauses = *commCauses
 	rep, err := scalana.DetectScalingLoss(runs, dcfg)
 	if err != nil {
 		fatalf("%v", err)
@@ -109,7 +120,54 @@ func main() {
 	if err != nil {
 		prog = nil
 	}
-	fmt.Print(rep.Render(prog))
+	// With -json '-' stdout must stay parseable JSON; the rendered text
+	// report moves to stderr.
+	rendered := os.Stdout
+	if *jsonOut == "-" {
+		rendered = os.Stderr
+	}
+	fmt.Fprint(rendered, rep.Render(prog))
+
+	if *jsonOut != "" {
+		data, err := rep.EncodeJSON()
+		if err != nil {
+			fatalf("encode report: %v", err)
+		}
+		if *jsonOut == "-" {
+			os.Stdout.Write(append(data, '\n'))
+		} else if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fatalf("write report: %v", err)
+		}
+	}
+
+	if *expectCause != "" {
+		if len(rep.Causes) == 0 {
+			fatalf("expectation %q not met: the report contains no root causes at all", *expectCause)
+		}
+		if !causeMatches(rep, *expectCause) {
+			fatalf("expectation %q not met: none of the %d reported causes match (top cause: %s)",
+				*expectCause, len(rep.Causes), describeCause(&rep.Causes[0]))
+		}
+		fmt.Fprintf(os.Stderr, "scalana-detect: expectation %q met\n", *expectCause)
+	}
+}
+
+// causeMatches reports whether any reported root cause matches the
+// substring by vertex key, vertex name, or source position.
+func causeMatches(rep *detect.Report, substr string) bool {
+	for i := range rep.Causes {
+		if strings.Contains(describeCause(&rep.Causes[i]), substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func describeCause(c *detect.Cause) string {
+	if c.Vertex == nil {
+		return c.VertexKey
+	}
+	return fmt.Sprintf("%s %s %s at %s:%d", c.VertexKey, c.Vertex.Kind, c.Vertex.Name, c.Vertex.Pos.File, c.Vertex.Pos.Line)
 }
 
 func fatalf(format string, args ...any) {

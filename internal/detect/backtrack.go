@@ -139,8 +139,9 @@ func (bt *backtracker) walk(start *psg.Vertex, rank int) Path {
 // rankCauses scores the Comp/Loop vertices on each path and aggregates
 // them into the report's ranked cause list ("the root causes can be
 // further sorted according to the length of execution time and the
-// imbalance among different parallel processes", paper §V).
-func rankCauses(rep *Report, largest ScaleRun) {
+// imbalance among different parallel processes", paper §V). With
+// Config.CommCauses, MPI vertices flagged non-scalable also qualify.
+func rankCauses(rep *Report, largest ScaleRun, cfg Config) {
 	total := largest.PPG.TotalTime()
 	if total <= 0 {
 		return
@@ -149,15 +150,32 @@ func rankCauses(rep *Report, largest ScaleRun) {
 	for _, ab := range rep.Abnormal {
 		abn[ab.Vertex.VID] = score(ab.Ratio)
 	}
+	nonScalable := map[psg.VID]bool{}
+	if cfg.CommCauses {
+		for _, ns := range rep.NonScalable {
+			nonScalable[ns.Vertex.VID] = true
+		}
+	}
 	agg := map[psg.VID]*Cause{}
 	for i := range rep.Paths {
 		p := &rep.Paths[i]
 		var best *Cause
 		for _, st := range p.Steps {
-			if st.Vertex.Kind != psg.KindComp && st.Vertex.Kind != psg.KindLoop {
+			candidate := st.Vertex.Kind == psg.KindComp || st.Vertex.Kind == psg.KindLoop ||
+				(cfg.CommCauses && st.Vertex.Collective && nonScalable[st.Vertex.VID])
+			if !candidate {
 				continue
 			}
-			share := sum(largest.PPG.TimeSeries(st.Vertex.VID)) / total
+			var share float64
+			if st.Vertex.Kind == psg.KindMPI {
+				// A collective is only as culpable as its intrinsic cost:
+				// time spent waiting for stragglers is inherited — the walk
+				// already followed those dependence edges — so it must not
+				// also score here.
+				share = intrinsicShare(largest.PPG, st.Vertex.VID, total)
+			} else {
+				share = sum(largest.PPG.TimeSeries(st.Vertex.VID)) / total
+			}
 			imb := abn[st.Vertex.VID]
 			if imb == 0 {
 				imb = 1
@@ -196,4 +214,22 @@ func rankCauses(rep *Report, largest ScaleRun) {
 		}
 		return rep.Causes[i].VertexKey < rep.Causes[j].VertexKey
 	})
+}
+
+// intrinsicShare is a vertex's time share minus the part explained by
+// its outgoing dependence edges (time blocked on other ranks).
+func intrinsicShare(pg *ppg.Graph, vid psg.VID, total float64) float64 {
+	t := 0.0
+	for _, v := range pg.TimeSeries(vid) {
+		t += v
+	}
+	for r := 0; r < pg.NP; r++ {
+		for _, e := range pg.Edges[ppg.EdgeFrom{VID: vid, Rank: r}] {
+			t -= e.TotalWait
+		}
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t / total
 }

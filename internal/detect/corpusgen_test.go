@@ -1,0 +1,33 @@
+package detect
+
+// TestWriteFuzzSeedCorpus regenerates the committed fuzz seed corpus
+// when SCALANA_WRITE_FUZZ_CORPUS=1 (a maintenance hook, not a test).
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFuzzSeedCorpus(t *testing.T) {
+	if os.Getenv("SCALANA_WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set SCALANA_WRITE_FUZZ_CORPUS=1 to regenerate the committed seed corpus")
+	}
+	rich, err := fuzzSeedReport().EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := [][]byte{
+		rich,
+		[]byte("{}"),
+		[]byte(`{"np":-1,"abnormal":[{"vertex":{"key":"x"},"ratio":"inf"}]}`),
+		[]byte(`{"paths":[{"steps":[{"vertex":{"kind":"weird"}}],"cause":null}]}`),
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeReport")
+	for i, s := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed%d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

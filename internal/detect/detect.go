@@ -39,6 +39,15 @@ type Config struct {
 	WaitEps float64
 	// MaxSteps bounds one backtracking walk.
 	MaxSteps int
+	// CommCauses additionally admits collective MPI vertices as root-cause
+	// candidates when they were themselves flagged non-scalable — a
+	// collective whose message volume grows with the job scale is its own
+	// root cause, not the computation that happens to precede it.
+	// Point-to-point vertices never qualify: their waiting time is
+	// inherited from a peer, which the backtracking walk already follows.
+	// Off by default: the paper's Algorithm 1 attributes causes to
+	// Comp/Loop vertices only.
+	CommCauses bool
 }
 
 // DefaultConfig mirrors the paper's evaluation parameters.
@@ -184,7 +193,7 @@ func Detect(runs []ScaleRun, cfg Config) (*Report, error) {
 	}
 	rep.Abnormal = findAbnormal(largest, cfg)
 	backtrackAll(rep, largest, cfg)
-	rankCauses(rep, largest)
+	rankCauses(rep, largest, cfg)
 	return rep, nil
 }
 

@@ -1,0 +1,122 @@
+package detect
+
+// Native fuzz target for the Report wire format: decoding arbitrary
+// bytes must never panic, any decoded report must render, and one
+// decode -> encode pass is a normalization fixpoint (encoding again is
+// byte-identical). Seed corpus: f.Add below plus the committed files
+// under testdata/fuzz/FuzzDecodeReport/.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"scalana/internal/fit"
+	"scalana/internal/minilang"
+	"scalana/internal/psg"
+)
+
+// fuzzSeedReport builds a report exercising every wire feature:
+// non-scalable fits, an infinite abnormal ratio, multi-step paths with
+// waits, and ranked causes.
+func fuzzSeedReport() *Report {
+	v := func(key, name string, kind psg.Kind, line int) *psg.Vertex {
+		return &psg.Vertex{Key: key, Kind: kind, Name: name, Pos: minilang.Pos{File: "seed.mp", Line: line}}
+	}
+	loop := v("main:10", "loop", psg.KindLoop, 4)
+	comp := v("main:12", "compute", psg.KindComp, 5)
+	coll := v("main:20", "mpi_allreduce", psg.KindMPI, 9)
+	cause := &Cause{VertexKey: comp.Key, Vertex: comp, Score: 0.5, Share: 0.25, Imbalance: 2, Paths: 1}
+	return &Report{
+		NP: 8,
+		NonScalable: []NonScalable{{
+			VertexKey: coll.Key, Vertex: coll,
+			Model: fit.LogLog{A: -2.5, B: 1.25, R2: 0.99},
+			Share: 0.5, Times: map[int]float64{4: 0.01, 8: 0.025},
+		}},
+		Abnormal: []Abnormal{{
+			VertexKey: comp.Key, Vertex: comp, Ratio: math.Inf(1), OutlierRanks: []int{0, 2}, Share: 0.25,
+		}},
+		Paths: []Path{{
+			Steps: []PathStep{
+				{VertexKey: coll.Key, Vertex: coll, Rank: 3, Via: ViaStart},
+				{VertexKey: comp.Key, Vertex: comp, Rank: 1, Via: ViaComm, Wait: 0.0125},
+				{VertexKey: loop.Key, Vertex: loop, Rank: 1, Via: ViaData},
+			},
+			Cause: cause,
+		}},
+		Causes: []Cause{*cause},
+	}
+}
+
+func FuzzDecodeReport(f *testing.F) {
+	seed, err := fuzzSeedReport().EncodeJSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte("{}"))
+	f.Add([]byte("null"))
+	f.Add([]byte(`{"np":-1,"abnormal":[{"vertex":{"key":"x"},"ratio":"inf"}]}`))
+	f.Add([]byte(`{"paths":[{"steps":[{"vertex":{"kind":"weird"}}],"cause":null}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReport(data, nil)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		_ = rep.Render(nil) // detached reports must still render
+		enc, err := rep.EncodeJSON()
+		if err != nil {
+			t.Fatalf("decoded report does not re-encode: %v", err)
+		}
+		rep2, err := DecodeReport(enc, nil)
+		if err != nil {
+			t.Fatalf("re-encoded report does not decode: %v\n%s", err, enc)
+		}
+		enc2, err := rep2.EncodeJSON()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("decode/encode is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", enc, enc2)
+		}
+	})
+}
+
+// TestReportJSONRoundTripLossless pins the attached-graph contract: a
+// report built from live vertices encodes, decodes, and re-encodes to
+// identical bytes, with every field surviving.
+func TestReportJSONRoundTripLossless(t *testing.T) {
+	rep := fuzzSeedReport()
+	enc, err := rep.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeReport(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NP != rep.NP || len(dec.NonScalable) != 1 || len(dec.Abnormal) != 1 || len(dec.Paths) != 1 || len(dec.Causes) != 1 {
+		t.Fatalf("decoded report lost structure: %+v", dec)
+	}
+	if !math.IsInf(dec.Abnormal[0].Ratio, 1) {
+		t.Errorf("infinite ratio did not survive: %v", dec.Abnormal[0].Ratio)
+	}
+	if dec.NonScalable[0].Times[8] != 0.025 {
+		t.Errorf("per-scale times did not survive: %v", dec.NonScalable[0].Times)
+	}
+	if dec.Paths[0].Cause == nil || dec.Paths[0].Cause.VertexKey != "main:12" {
+		t.Errorf("path cause did not survive: %+v", dec.Paths[0].Cause)
+	}
+	if dec.Paths[0].Steps[1].Wait != 0.0125 || dec.Paths[0].Steps[1].Via != ViaComm {
+		t.Errorf("step fields did not survive: %+v", dec.Paths[0].Steps[1])
+	}
+	enc2, err := dec.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Errorf("encode-decode-encode differs:\n%s\nvs\n%s", enc, enc2)
+	}
+}

@@ -1,0 +1,289 @@
+package detect
+
+// JSON wire format for detection reports. Reports cross process
+// boundaries in two places — the scalana-synth accuracy harness writes
+// them for CI gates, and scripts consume scalana-detect output — so the
+// format must be deterministic (stable field order, sorted scale lists)
+// and total (non-finite floats survive the trip: IEEE specials encode as
+// the strings "inf", "-inf", "nan", which encoding/json would otherwise
+// reject).
+//
+// DecodeReport rebuilds a *Report. When a compiled PSG is supplied the
+// vertex references re-attach to live *psg.Vertex values (required by
+// Render); without one the report is "detached": every VertexKey and
+// position survives, but Vertex pointers stay nil.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"scalana/internal/fit"
+	"scalana/internal/minilang"
+	"scalana/internal/psg"
+)
+
+// WireFloat is a float64 that survives JSON encoding even when
+// non-finite: +Inf, -Inf, and NaN marshal as the strings "inf", "-inf",
+// and "nan" (encoding/json errors on the bare values).
+type WireFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f WireFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"nan"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *WireFloat) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		switch s {
+		case "inf":
+			*f = WireFloat(math.Inf(1))
+		case "-inf":
+			*f = WireFloat(math.Inf(-1))
+		case "nan":
+			*f = WireFloat(math.NaN())
+		default:
+			return fmt.Errorf("detect: bad float string %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = WireFloat(v)
+	return nil
+}
+
+// VertexRefJSON identifies one PSG vertex on the wire: the stable key
+// plus enough position information to be useful without the graph.
+type VertexRefJSON struct {
+	Key  string `json:"key"`
+	Kind string `json:"kind,omitempty"`
+	Name string `json:"name,omitempty"`
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+}
+
+type scaleTimeJSON struct {
+	NP   int       `json:"np"`
+	Time WireFloat `json:"time"`
+}
+
+type nonScalableJSON struct {
+	Vertex  VertexRefJSON   `json:"vertex"`
+	ModelA  WireFloat       `json:"model_a"`
+	ModelB  WireFloat       `json:"model_b"`
+	ModelR2 WireFloat       `json:"model_r2"`
+	Share   WireFloat       `json:"share"`
+	Times   []scaleTimeJSON `json:"times,omitempty"`
+}
+
+type abnormalJSON struct {
+	Vertex       VertexRefJSON `json:"vertex"`
+	Ratio        WireFloat     `json:"ratio"`
+	OutlierRanks []int         `json:"outlier_ranks,omitempty"`
+	Share        WireFloat     `json:"share"`
+}
+
+type stepJSON struct {
+	Vertex VertexRefJSON `json:"vertex"`
+	Rank   int           `json:"rank"`
+	Via    string        `json:"via"`
+	Wait   WireFloat     `json:"wait"`
+}
+
+type causeJSON struct {
+	Vertex    VertexRefJSON `json:"vertex"`
+	Score     WireFloat     `json:"score"`
+	Share     WireFloat     `json:"share"`
+	Imbalance WireFloat     `json:"imbalance"`
+	Paths     int           `json:"paths"`
+}
+
+type pathJSON struct {
+	Steps []stepJSON `json:"steps,omitempty"`
+	Cause *causeJSON `json:"cause,omitempty"`
+}
+
+type reportJSON struct {
+	NP          int               `json:"np"`
+	NonScalable []nonScalableJSON `json:"non_scalable,omitempty"`
+	Abnormal    []abnormalJSON    `json:"abnormal,omitempty"`
+	Paths       []pathJSON        `json:"paths,omitempty"`
+	Causes      []causeJSON       `json:"causes,omitempty"`
+}
+
+// vertexRef renders a vertex reference from a live vertex (preferred) or
+// a bare key.
+func vertexRef(v *psg.Vertex, key string) VertexRefJSON {
+	if v == nil {
+		return VertexRefJSON{Key: key}
+	}
+	return VertexRefJSON{Key: v.Key, Kind: v.Kind.String(), Name: v.Name, File: v.Pos.File, Line: v.Pos.Line}
+}
+
+func causeToJSON(c *Cause) *causeJSON {
+	if c == nil {
+		return nil
+	}
+	return &causeJSON{
+		Vertex:    vertexRef(c.Vertex, c.VertexKey),
+		Score:     WireFloat(c.Score),
+		Share:     WireFloat(c.Share),
+		Imbalance: WireFloat(c.Imbalance),
+		Paths:     c.Paths,
+	}
+}
+
+// EncodeJSON serializes the report deterministically (indented, scale
+// lists sorted by np).
+func (rep *Report) EncodeJSON() ([]byte, error) {
+	dto := reportJSON{NP: rep.NP}
+	for _, ns := range rep.NonScalable {
+		j := nonScalableJSON{
+			Vertex:  vertexRef(ns.Vertex, ns.VertexKey),
+			ModelA:  WireFloat(ns.Model.A),
+			ModelB:  WireFloat(ns.Model.B),
+			ModelR2: WireFloat(ns.Model.R2),
+			Share:   WireFloat(ns.Share),
+		}
+		for np, t := range ns.Times {
+			j.Times = append(j.Times, scaleTimeJSON{NP: np, Time: WireFloat(t)})
+		}
+		sort.Slice(j.Times, func(a, b int) bool { return j.Times[a].NP < j.Times[b].NP })
+		dto.NonScalable = append(dto.NonScalable, j)
+	}
+	for _, ab := range rep.Abnormal {
+		dto.Abnormal = append(dto.Abnormal, abnormalJSON{
+			Vertex:       vertexRef(ab.Vertex, ab.VertexKey),
+			Ratio:        WireFloat(ab.Ratio),
+			OutlierRanks: ab.OutlierRanks,
+			Share:        WireFloat(ab.Share),
+		})
+	}
+	for _, p := range rep.Paths {
+		pj := pathJSON{Cause: causeToJSON(p.Cause)}
+		for _, st := range p.Steps {
+			pj.Steps = append(pj.Steps, stepJSON{
+				Vertex: vertexRef(st.Vertex, st.VertexKey),
+				Rank:   st.Rank,
+				Via:    string(st.Via),
+				Wait:   WireFloat(st.Wait),
+			})
+		}
+		dto.Paths = append(dto.Paths, pj)
+	}
+	for i := range rep.Causes {
+		dto.Causes = append(dto.Causes, *causeToJSON(&rep.Causes[i]))
+	}
+	return json.MarshalIndent(dto, "", " ")
+}
+
+// kindFromString reverses psg.Kind.String for the wire format. Unknown
+// strings normalize to KindComp; one encode/decode pass is a fixpoint.
+func kindFromString(s string) psg.Kind {
+	for _, k := range []psg.Kind{psg.KindRoot, psg.KindLoop, psg.KindBranch, psg.KindComp, psg.KindMPI, psg.KindCall} {
+		if k.String() == s {
+			return k
+		}
+	}
+	return psg.KindComp
+}
+
+// attach resolves a vertex reference against the compiled graph. Keys the
+// graph does not contain — or any key when the graph is nil — get a
+// detached placeholder vertex carrying the wire position, so decoded
+// reports always render and re-encode without loss.
+func attach(g *psg.Graph, ref VertexRefJSON) *psg.Vertex {
+	if g != nil {
+		if v := g.VertexByKey(ref.Key); v != nil {
+			return v
+		}
+	}
+	return &psg.Vertex{
+		Key:  ref.Key,
+		Kind: kindFromString(ref.Kind),
+		Name: ref.Name,
+		Pos:  minilang.Pos{File: ref.File, Line: ref.Line},
+	}
+}
+
+func causeFromJSON(g *psg.Graph, j *causeJSON) *Cause {
+	if j == nil {
+		return nil
+	}
+	return &Cause{
+		VertexKey: j.Vertex.Key,
+		Vertex:    attach(g, j.Vertex),
+		Score:     float64(j.Score),
+		Share:     float64(j.Share),
+		Imbalance: float64(j.Imbalance),
+		Paths:     j.Paths,
+	}
+}
+
+// DecodeReport parses a report written by EncodeJSON. The graph is
+// optional: when non-nil, vertex references re-attach to it (keys the
+// graph does not contain stay detached rather than erroring, so a report
+// from a different build of the app still loads).
+func DecodeReport(data []byte, g *psg.Graph) (*Report, error) {
+	var dto reportJSON
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return nil, fmt.Errorf("detect: parse report: %w", err)
+	}
+	rep := &Report{NP: dto.NP}
+	for _, j := range dto.NonScalable {
+		ns := NonScalable{
+			VertexKey: j.Vertex.Key,
+			Vertex:    attach(g, j.Vertex),
+			Model:     fit.LogLog{A: float64(j.ModelA), B: float64(j.ModelB), R2: float64(j.ModelR2)},
+			Share:     float64(j.Share),
+		}
+		if len(j.Times) > 0 {
+			ns.Times = make(map[int]float64, len(j.Times))
+			for _, st := range j.Times {
+				ns.Times[st.NP] = float64(st.Time)
+			}
+		}
+		rep.NonScalable = append(rep.NonScalable, ns)
+	}
+	for _, j := range dto.Abnormal {
+		rep.Abnormal = append(rep.Abnormal, Abnormal{
+			VertexKey:    j.Vertex.Key,
+			Vertex:       attach(g, j.Vertex),
+			Ratio:        float64(j.Ratio),
+			OutlierRanks: j.OutlierRanks,
+			Share:        float64(j.Share),
+		})
+	}
+	for _, pj := range dto.Paths {
+		p := Path{Cause: causeFromJSON(g, pj.Cause)}
+		for _, sj := range pj.Steps {
+			p.Steps = append(p.Steps, PathStep{
+				VertexKey: sj.Vertex.Key,
+				Vertex:    attach(g, sj.Vertex),
+				Rank:      sj.Rank,
+				Via:       StepVia(sj.Via),
+				Wait:      float64(sj.Wait),
+			})
+		}
+		rep.Paths = append(rep.Paths, p)
+	}
+	for i := range dto.Causes {
+		rep.Causes = append(rep.Causes, *causeFromJSON(g, &dto.Causes[i]))
+	}
+	return rep, nil
+}

@@ -1,0 +1,67 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFmtSecBoundaries pins the unit switchover points of the waiting
+// time formatter.
+func TestFmtSecBoundaries(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0.0us"},
+		{5e-7, "0.5us"},
+		{9.99e-4, "999.0us"},
+		{1e-3, "1.00ms"},
+		{0.5, "500.00ms"},
+		{0.9999, "999.90ms"},
+		{1, "1.000s"},
+		{12.3456, "12.346s"},
+	}
+	for _, c := range cases {
+		if got := fmtSec(c.in); got != c.want {
+			t.Errorf("fmtSec(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRenderEmptyReport: a report with no findings renders every section
+// header with zero counts and no panic, with or without a program for
+// source snippets.
+func TestRenderEmptyReport(t *testing.T) {
+	rep := &Report{NP: 16}
+	out := rep.Render(nil)
+	for _, want := range []string{
+		"largest scale np=16",
+		"non-scalable vertices (0):",
+		"abnormal vertices (0):",
+		"backtracking paths (0):",
+		"root causes (ranked):",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderDecodedReport: a report decoded without a graph (detached
+// placeholder vertices) must render the wire positions.
+func TestRenderDecodedReport(t *testing.T) {
+	enc, err := fuzzSeedReport().EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DecodeReport(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render(nil)
+	for _, want := range []string{"main:20", "seed.mp:9", "ratio=inf", "(waited 12.50ms)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("decoded report render missing %q:\n%s", want, out)
+		}
+	}
+}

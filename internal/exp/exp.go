@@ -100,7 +100,7 @@ func RunAll(exps []Experiment, parallelism int) ([]*Result, error) {
 func orderOf(id string) int {
 	order := []string{"table1", "fig2", "fig4", "fig6", "fig7", "fig8",
 		"table2", "table3", "fig10", "fig11", "table4",
-		"fig12", "fig13", "fig14", "fig15", "fig16"}
+		"fig12", "fig13", "fig14", "fig15", "fig16", "synth"}
 	for i, x := range order {
 		if x == id {
 			return i

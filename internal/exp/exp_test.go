@@ -24,7 +24,7 @@ func runExp(t *testing.T, id string) *Result {
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	want := []string{"table1", "fig2", "fig4", "fig6", "fig7", "fig8",
 		"table2", "table3", "fig10", "fig11", "table4",
-		"fig12", "fig13", "fig14", "fig15", "fig16"}
+		"fig12", "fig13", "fig14", "fig15", "fig16", "synth"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
@@ -73,6 +73,17 @@ func TestFig2Experiment(t *testing.T) {
 	res := runExp(t, "fig2")
 	if res.Values["delay_found"] != 1 {
 		t.Errorf("injected delay not found:\n%s", res.Text)
+	}
+}
+
+func TestSynthExperiment(t *testing.T) {
+	res := runExp(t, "synth")
+	if res.Values["top1_accuracy"] < 0.8 {
+		t.Errorf("synthetic-corpus top-1 localization accuracy %.2f below 0.8:\n%s",
+			res.Values["top1_accuracy"], res.Text)
+	}
+	if !strings.Contains(res.Text, "localization accuracy by defect archetype") {
+		t.Error("synth experiment output missing the accuracy table")
 	}
 }
 

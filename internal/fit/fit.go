@@ -42,8 +42,14 @@ func FitLogLog(ps, ys []float64) (LogLog, error) {
 	n := float64(len(ps))
 	var sx, sy, sxx, sxy float64
 	for i := range ps {
+		if math.IsNaN(ps[i]) {
+			return LogLog{}, fmt.Errorf("fit: NaN scale at index %d", i)
+		}
 		if ps[i] <= 0 {
 			return LogLog{}, fmt.Errorf("fit: non-positive scale %g", ps[i])
+		}
+		if math.IsNaN(ys[i]) {
+			return LogLog{}, fmt.Errorf("fit: NaN sample at scale %g", ps[i])
 		}
 		x := math.Log(ps[i])
 		y := math.Log(math.Max(ys[i], eps))
@@ -107,8 +113,11 @@ func (s MergeStrategy) String() string {
 	return "unknown"
 }
 
-// Merge applies the strategy to values (one entry per rank).
+// Merge applies the strategy to values (one entry per rank). NaN
+// entries are treated as missing samples and ignored; with no non-NaN
+// entries at all the merge is a defined 0 rather than NaN.
 func Merge(values []float64, s MergeStrategy) float64 {
+	values = dropNaN(values)
 	if len(values) == 0 {
 		return 0
 	}
@@ -173,8 +182,10 @@ func Median(values []float64) float64 {
 	return (cp[n/2-1] + cp[n/2]) / 2
 }
 
-// Variance returns the population variance.
+// Variance returns the population variance, ignoring NaN entries
+// (fewer than two non-NaN entries give 0 rather than NaN).
 func Variance(values []float64) float64 {
+	values = dropNaN(values)
 	if len(values) < 2 {
 		return 0
 	}
@@ -184,6 +195,28 @@ func Variance(values []float64) float64 {
 		s += (v - m) * (v - m)
 	}
 	return s / float64(len(values))
+}
+
+// dropNaN returns values without NaN entries, reusing the input slice
+// when it is already clean.
+func dropNaN(values []float64) []float64 {
+	clean := true
+	for _, v := range values {
+		if math.IsNaN(v) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return values
+	}
+	out := make([]float64, 0, len(values))
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // Stddev returns the population standard deviation.

@@ -113,7 +113,7 @@ func (dto *rankProfileDTO) fromDTO(g *psg.Graph) (*RankProfile, error) {
 	vidOf := func(key string) (psg.VID, error) {
 		vid, ok := g.VIDOf(key)
 		if !ok {
-			return 0, fmt.Errorf("prof: rank %d profile names vertex %q, which the compiled graph does not contain (profile/app mismatch?)", dto.Rank, key)
+			return 0, fmt.Errorf("rank %d profile names vertex %q, which the compiled graph does not contain (profile/app mismatch?)", dto.Rank, key)
 		}
 		return vid, nil
 	}
@@ -122,9 +122,15 @@ func (dto *rankProfileDTO) fromDTO(g *psg.Graph) (*RankProfile, error) {
 		if err != nil {
 			return nil, err
 		}
+		if pd == nil {
+			return nil, fmt.Errorf("rank %d profile has a null record for vertex %q", dto.Rank, key)
+		}
 		rp.Vertex[vid] = *pd
 	}
 	for _, rec := range dto.Comm {
+		if rec == nil {
+			return nil, fmt.Errorf("rank %d profile has a null communication record", dto.Rank)
+		}
 		vid, err := vidOf(rec.VertexKey)
 		if err != nil {
 			return nil, err
@@ -142,6 +148,9 @@ func (dto *rankProfileDTO) fromDTO(g *psg.Graph) (*RankProfile, error) {
 		rp.Comm[key] = &CommRecord{CommKey: key, Count: rec.Count, TotalWait: rec.TotalWait, MaxWait: rec.MaxWait}
 	}
 	for _, rec := range dto.Indirect {
+		if rec == nil {
+			return nil, fmt.Errorf("rank %d profile has a null indirect-call record", dto.Rank)
+		}
 		rp.Indirect[fmt.Sprintf("%s:%d#%s", rec.InstancePath, rec.Site, rec.Target)] = rec
 	}
 	return rp, nil
@@ -163,9 +172,15 @@ func commLess(a, b *commRecordDTO) bool {
 	return a.Bytes < b.Bytes
 }
 
+// Encode serializes the profile set to the JSON wire format — exactly
+// the bytes Save writes.
+func (ps *ProfileSet) Encode() ([]byte, error) {
+	return json.MarshalIndent(ps, "", " ")
+}
+
 // Save writes the profile set to a JSON file.
 func (ps *ProfileSet) Save(path string) error {
-	data, err := json.MarshalIndent(ps, "", " ")
+	data, err := ps.Encode()
 	if err != nil {
 		return err
 	}
@@ -180,25 +195,37 @@ type profileSetDTO struct {
 	Profiles []*rankProfileDTO `json:"profiles"`
 }
 
-// LoadProfileSet reads a profile set written by Save (by this build or a
-// pre-VID one — the wire format is unchanged) and re-interns it against
-// the compiled graph's symbol table.
+// DecodeProfileSet parses wire-format bytes written by Encode (by this
+// build or a pre-VID one — the wire format is unchanged) and re-interns
+// them against the compiled graph's symbol table.
+func DecodeProfileSet(data []byte, g *psg.Graph) (*ProfileSet, error) {
+	var dto profileSetDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return nil, fmt.Errorf("parse profile set: %w", err)
+	}
+	ps := &ProfileSet{App: dto.App, NP: dto.NP, Elapsed: dto.Elapsed}
+	for _, pdto := range dto.Profiles {
+		if pdto == nil {
+			return nil, fmt.Errorf("profile set has a null rank profile")
+		}
+		rp, err := pdto.fromDTO(g)
+		if err != nil {
+			return nil, err
+		}
+		ps.Profiles = append(ps.Profiles, rp)
+	}
+	return ps, nil
+}
+
+// LoadProfileSet reads a profile set file written by Save.
 func LoadProfileSet(path string, g *psg.Graph) (*ProfileSet, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var dto profileSetDTO
-	if err := json.Unmarshal(data, &dto); err != nil {
-		return nil, fmt.Errorf("prof: parse %s: %w", path, err)
-	}
-	ps := &ProfileSet{App: dto.App, NP: dto.NP, Elapsed: dto.Elapsed}
-	for _, pdto := range dto.Profiles {
-		rp, err := pdto.fromDTO(g)
-		if err != nil {
-			return nil, fmt.Errorf("prof: load %s: %w", path, err)
-		}
-		ps.Profiles = append(ps.Profiles, rp)
+	ps, err := DecodeProfileSet(data, g)
+	if err != nil {
+		return nil, fmt.Errorf("prof: load %s: %w", path, err)
 	}
 	return ps, nil
 }

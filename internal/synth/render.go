@@ -1,0 +1,65 @@
+package synth
+
+// Text rendering of evaluation results: the per-archetype accuracy
+// table (the repo's analog of the paper's accuracy evaluation) plus a
+// per-case summary.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"scalana/internal/report"
+)
+
+// Render formats the evaluation as a terminal report.
+func (res *EvalResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== synthetic-corpus root-cause localization (scales %v, top-%d) ===\n\n", res.Scales, res.TopK)
+
+	rows := make([][]string, 0, len(res.Kinds)+1)
+	for i := range res.Kinds {
+		m := &res.Kinds[i]
+		rows = append(rows, []string{
+			string(m.Kind),
+			fmt.Sprintf("%d", m.Cases),
+			fmt.Sprintf("%.2f", m.Top1Accuracy()),
+			fmt.Sprintf("%.2f", m.TopKAccuracy()),
+			fmt.Sprintf("%.2f", m.Recall()),
+		})
+	}
+	rows = append(rows, []string{
+		"overall",
+		fmt.Sprintf("%d", len(res.Cases)),
+		fmt.Sprintf("%.2f", res.Top1Accuracy),
+		fmt.Sprintf("%.2f", res.TopKAccuracy),
+		fmt.Sprintf("%.2f", res.Recall),
+	})
+	sb.WriteString(report.Table("localization accuracy by defect archetype",
+		[]string{"archetype", "cases", "top-1", fmt.Sprintf("top-%d", res.TopK), "recall"}, rows))
+
+	fmt.Fprintf(&sb, "\nprecision over top-%d causes: %.2f\n\ncases:\n", res.TopK, res.Precision)
+	for i := range res.Cases {
+		cr := &res.Cases[i]
+		verdict := "MISS "
+		switch {
+		case cr.Top1Hit:
+			verdict = "top-1"
+		case cr.TopKHit:
+			verdict = fmt.Sprintf("top-%d", cr.FirstHitRank)
+		case cr.FirstHitRank > 0:
+			verdict = fmt.Sprintf("rank %d", cr.FirstHitRank)
+		}
+		loc := ""
+		if len(cr.Causes) > 0 {
+			loc = fmt.Sprintf("  cause: %s:%d %s", cr.Causes[0].File, cr.Causes[0].Line, cr.Causes[0].VertexKey)
+		}
+		fmt.Fprintf(&sb, "  %-36s %-6s%s\n", cr.Name, verdict, loc)
+	}
+	return sb.String()
+}
+
+// EncodeJSON serializes the evaluation result deterministically.
+func (res *EvalResult) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(res, "", " ")
+}

@@ -1,0 +1,385 @@
+package synth
+
+// Structural templates and defect emitters. A template writes a healthy
+// MiniMP program — balanced strong-scaling computation plus the
+// communication skeleton that names it — and calls the emitter's inject
+// hooks at its injection sites; each planned defect then writes its own
+// marked region and records the line span for the ground-truth label.
+//
+// Defect regions are written so contraction cannot smear them into
+// neighboring code: every computation defect opens with a `for` loop
+// (Loop vertices never merge with adjacent Comp vertices, and shallow
+// MPI-free loops are always retained), and communication defects are
+// MPI statements, which are always retained. The vertices the compiled
+// graph places inside the span are therefore exactly the defect's.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// site says where in a template a defect region is injected.
+type site int
+
+const (
+	// sitePre injects before the main time loop (one-shot defects).
+	sitePre site = iota
+	// siteIter injects inside the main time loop body (per-step defects).
+	siteIter
+)
+
+// params are the randomized healthy-baseline knobs of one case.
+type params struct {
+	iters int     // main time-loop iterations
+	work  float64 // total balanced work, split 1/np per rank
+	bytes int     // baseline p2p message size
+	ws    int     // working-set bytes for compute()
+}
+
+// refNP is the reference scale defect magnitudes are tuned against: a
+// defect is sized to clearly dominate the (shrinking) balanced work at
+// this scale while staying a minor perturbation at the smallest one.
+const refNP = 32
+
+// defectPlan is one planned injection: the archetype, the site, and the
+// knobs drawn at planning time (so rng consumption is independent of
+// emission order).
+type defectPlan struct {
+	at   site
+	gt   GroundTruth
+	emit func(e *emitter, indent string)
+}
+
+// emitter accumulates source lines and ground-truth spans.
+type emitter struct {
+	file    string
+	p       params
+	defects map[site][]*defectPlan
+	lines   []string
+	truths  []GroundTruth
+}
+
+func (e *emitter) addf(format string, args ...any) {
+	e.lines = append(e.lines, fmt.Sprintf(format, args...))
+}
+
+// inject emits every defect planned for the site and records its span.
+func (e *emitter) inject(s site, indent string) {
+	for _, d := range e.defects[s] {
+		start := len(e.lines) + 1
+		d.emit(e, indent)
+		gt := d.gt
+		gt.File = e.file
+		gt.LineStart = start
+		gt.LineEnd = len(e.lines)
+		e.truths = append(e.truths, gt)
+	}
+}
+
+func (e *emitter) source() string { return strings.Join(e.lines, "\n") + "\n" }
+
+// template is one structural program family.
+type template struct {
+	name string
+	// supports lists the archetypes this skeleton can host.
+	supports []DefectKind
+	emit     func(e *emitter)
+}
+
+func (t *template) hosts(k DefectKind) bool {
+	for _, s := range t.supports {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+// templates returns the template registry in rotation order.
+func templates() []*template {
+	return []*template{
+		{
+			name:     "stencil",
+			supports: []DefectKind{DefectImbalance, DefectCollective, DefectWaitChain, DefectSerial, DefectSkew},
+			emit:     emitStencil,
+		},
+		{
+			name:     "reduce",
+			supports: []DefectKind{DefectImbalance, DefectCollective, DefectSerial, DefectSkew},
+			emit:     emitReduce,
+		},
+		{
+			// The iter site sits inside the worker-only branch, so
+			// collectives (all ranks must participate) and the serial token
+			// chain (needs rank 0) cannot be hosted here.
+			name:     "masterworker",
+			supports: []DefectKind{DefectImbalance, DefectSkew},
+			emit:     emitMasterWorker,
+		},
+		{
+			name:     "pipeline",
+			supports: []DefectKind{DefectImbalance, DefectWaitChain, DefectSerial, DefectSkew},
+			emit:     emitPipeline,
+		},
+		{
+			name:     "itersolve",
+			supports: []DefectKind{DefectImbalance, DefectCollective, DefectWaitChain, DefectSkew},
+			emit:     emitIterSolve,
+		},
+	}
+}
+
+// templateByName returns the named template, or nil.
+func templateByName(name string) *template {
+	for _, t := range templates() {
+		if t.name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// ---- structural templates ----
+//
+// Every template binds `rank` and `np`, splits `work` 1/np per rank
+// (strong scaling: healthy vertices have log-log slope ≈ -1 and are
+// never flagged), and ends with a small collective so ranks rejoin.
+
+func emitStencil(e *emitter) {
+	p := e.p
+	e.addf("// %s: synthetic stencil with ring halo exchange", e.file)
+	e.addf("func main() {")
+	e.addf("	var rank = mpi_rank();")
+	e.addf("	var np = mpi_size();")
+	e.addf("	var next = (rank + 1) %% np;")
+	e.addf("	var prev = (rank - 1 + np) %% np;")
+	e.addf("	var work = %g / np;", p.work)
+	e.inject(sitePre, "\t")
+	e.addf("	for (var t = 0; t < %d; t = t + 1) {", p.iters)
+	e.addf("		mpi_sendrecv(next, 1, %d, prev, 1, %d);", p.bytes, p.bytes)
+	e.addf("		compute(work, work / 16, work / 32, %d);", p.ws)
+	e.inject(siteIter, "\t\t")
+	e.addf("	}")
+	e.addf("	mpi_allreduce(8);")
+	e.addf("}")
+}
+
+func emitReduce(e *emitter) {
+	p := e.p
+	e.addf("// %s: synthetic butterfly-reduction solver", e.file)
+	e.addf("func main() {")
+	e.addf("	var rank = mpi_rank();")
+	e.addf("	var np = mpi_size();")
+	e.addf("	var work = %g / np;", p.work)
+	e.inject(sitePre, "\t")
+	e.addf("	for (var t = 0; t < %d; t = t + 1) {", p.iters)
+	e.addf("		compute(work, work / 16, work / 32, %d);", p.ws)
+	e.addf("		for (var s = 1; s < np; s = s * 2) {")
+	e.addf("			var bit = floor(rank / s) %% 2;")
+	e.addf("			var partner = rank + s * (1 - 2 * bit);")
+	e.addf("			if (partner < np) {")
+	e.addf("				mpi_sendrecv(partner, 2, %d, partner, 2, %d);", p.bytes, p.bytes)
+	e.addf("			}")
+	e.addf("		}")
+	e.inject(siteIter, "\t\t")
+	e.addf("		mpi_allreduce(8);")
+	e.addf("	}")
+	e.addf("}")
+}
+
+func emitMasterWorker(e *emitter) {
+	p := e.p
+	e.addf("// %s: synthetic master/worker task farm", e.file)
+	e.addf("func main() {")
+	e.addf("	var rank = mpi_rank();")
+	e.addf("	var np = mpi_size();")
+	e.addf("	var work = %g / np;", p.work)
+	e.inject(sitePre, "\t")
+	e.addf("	for (var t = 0; t < %d; t = t + 1) {", p.iters)
+	e.addf("		if (rank == 0) {")
+	e.addf("			for (var w = 1; w < np; w = w + 1) {")
+	e.addf("				mpi_recv(w, 1, %d);", p.bytes)
+	e.addf("			}")
+	e.addf("			for (var w2 = 1; w2 < np; w2 = w2 + 1) {")
+	e.addf("				mpi_send(w2, 2, %d);", p.bytes)
+	e.addf("			}")
+	e.addf("		} else {")
+	e.addf("			compute(work, work / 16, work / 32, %d);", p.ws)
+	e.inject(siteIter, "\t\t\t")
+	e.addf("			mpi_send(0, 1, %d);", p.bytes)
+	e.addf("			mpi_recv(0, 2, %d);", p.bytes)
+	e.addf("		}")
+	e.addf("	}")
+	e.addf("	mpi_barrier();")
+	e.addf("}")
+}
+
+func emitPipeline(e *emitter) {
+	p := e.p
+	e.addf("// %s: synthetic pipelined wavefront", e.file)
+	e.addf("func main() {")
+	e.addf("	var rank = mpi_rank();")
+	e.addf("	var np = mpi_size();")
+	e.addf("	var work = %g / np;", p.work)
+	e.inject(sitePre, "\t")
+	e.addf("	for (var t = 0; t < %d; t = t + 1) {", p.iters)
+	e.addf("		if (rank > 0) {")
+	e.addf("			mpi_recv(rank - 1, 5, %d);", p.bytes)
+	e.addf("		}")
+	e.addf("		compute(work, work / 16, work / 32, %d);", p.ws)
+	e.inject(siteIter, "\t\t")
+	e.addf("		if (rank < np - 1) {")
+	e.addf("			mpi_send(rank + 1, 5, %d);", p.bytes)
+	e.addf("		}")
+	e.addf("	}")
+	e.addf("	mpi_allreduce(8);")
+	e.addf("}")
+}
+
+func emitIterSolve(e *emitter) {
+	p := e.p
+	e.addf("// %s: synthetic iterative solver with nonblocking halo", e.file)
+	e.addf("func halo(next, prev, bytes) {")
+	e.addf("	var r1 = mpi_irecv(prev, 3, bytes);")
+	e.addf("	var r2 = mpi_irecv(next, 4, bytes);")
+	e.addf("	mpi_isend(next, 3, bytes);")
+	e.addf("	mpi_isend(prev, 4, bytes);")
+	e.addf("	mpi_waitall();")
+	e.addf("}")
+	e.addf("func main() {")
+	e.addf("	var rank = mpi_rank();")
+	e.addf("	var np = mpi_size();")
+	e.addf("	var next = (rank + 1) %% np;")
+	e.addf("	var prev = (rank - 1 + np) %% np;")
+	e.addf("	var work = %g / np;", p.work)
+	e.inject(sitePre, "\t")
+	e.addf("	for (var t = 0; t < %d; t = t + 1) {", p.iters)
+	e.addf("		halo(next, prev, %d);", p.bytes)
+	e.addf("		compute(work, work / 16, work / 32, %d);", p.ws)
+	e.inject(siteIter, "\t\t")
+	e.addf("		mpi_allreduce(8);")
+	e.addf("	}")
+	e.addf("}")
+}
+
+// ---- defect emitters ----
+
+// planDefect draws a defect's knobs from rng and returns the plan. The
+// baseline params scope the magnitudes so the defect dominates at refNP
+// but stays modest at the smallest scale.
+func planDefect(kind DefectKind, p params, rng *rand.Rand) *defectPlan {
+	switch kind {
+	case DefectImbalance:
+		m := 2 + rng.Intn(2) // every m-th rank misbehaves
+		alpha := 2.0 + 2.0*rng.Float64()
+		c := alpha * p.work / (refNP * refNP)
+		return &defectPlan{
+			at: siteIter,
+			gt: GroundTruth{
+				Kind:          DefectImbalance,
+				AffectedRanks: fmt.Sprintf("rank %% %d == 0", m),
+				GrowsWithNP:   true,
+				Note:          fmt.Sprintf("every %d-th rank computes %.3g*np extra flops per step", m, 2*c),
+			},
+			emit: func(e *emitter, in string) {
+				e.addf("%s// DEFECT[imbalance]: extra work on every %d-th rank, growing with np", in, m)
+				e.addf("%sfor (var dj = 0; dj < 2; dj = dj + 1) {", in)
+				e.addf("%s	if (rank %% %d == 0) {", in, m)
+				e.addf("%s		compute(%g * np, %g * np, %g * np, %d);", in, c, c/16, c/32, p.ws)
+				e.addf("%s	}", in)
+				e.addf("%s}", in)
+			},
+		}
+
+	case DefectCollective:
+		bc := 49152 + rng.Intn(3)*16384 // per-rank volume coefficient
+		return &defectPlan{
+			at: siteIter,
+			gt: GroundTruth{
+				Kind:          DefectCollective,
+				AffectedRanks: "all",
+				GrowsWithNP:   true,
+				Note:          fmt.Sprintf("allgather volume %d*np bytes per rank: total traffic grows with np^2", bc),
+			},
+			emit: func(e *emitter, in string) {
+				e.addf("%s// DEFECT[collective]: allgather volume grows with np", in)
+				e.addf("%smpi_allgather(%d * np);", in, bc)
+			},
+		}
+
+	case DefectWaitChain:
+		k := 1 + rng.Intn(3) // the slow rank (cases run with MinNP >= 4)
+		beta := 1.5 + 1.5*rng.Float64()
+		c := beta * p.work / refNP
+		return &defectPlan{
+			at: siteIter,
+			gt: GroundTruth{
+				Kind:          DefectWaitChain,
+				AffectedRanks: fmt.Sprintf("rank == %d", k),
+				GrowsWithNP:   false,
+				Note:          fmt.Sprintf("rank %d stalls every step by %.3g constant flops; partners inherit the delay through p2p waits", k, 2*c),
+			},
+			emit: func(e *emitter, in string) {
+				e.addf("%s// DEFECT[waitchain]: rank %d is the slow link of the chain", in, k)
+				e.addf("%sfor (var dw = 0; dw < 2; dw = dw + 1) {", in)
+				e.addf("%s	if (rank == %d) {", in, k)
+				e.addf("%s		compute(%g, %g, %g, %d);", in, c, c/16, c/32, p.ws)
+				e.addf("%s	}", in)
+				e.addf("%s}", in)
+			},
+		}
+
+	case DefectSerial:
+		gamma := 1.5 + 1.0*rng.Float64()
+		c := gamma * p.work / refNP
+		tag := 71
+		return &defectPlan{
+			at: siteIter,
+			gt: GroundTruth{
+				Kind:          DefectSerial,
+				AffectedRanks: "all",
+				GrowsWithNP:   true,
+				Note:          fmt.Sprintf("token-serialized critical section of %.3g flops per rank: region wall time grows with np", c),
+			},
+			emit: func(e *emitter, in string) {
+				e.addf("%s// DEFECT[serial]: token-serialized critical section", in)
+				e.addf("%sif (rank > 0) {", in)
+				e.addf("%s	mpi_recv(rank - 1, %d, 16);", in, tag)
+				e.addf("%s}", in)
+				e.addf("%sfor (var dc = 0; dc < 1; dc = dc + 1) {", in)
+				e.addf("%s	compute(%g, %g, %g, %d);", in, c, c/16, c/32, p.ws)
+				e.addf("%s}", in)
+				e.addf("%sif (rank < np - 1) {", in)
+				e.addf("%s	mpi_send(rank + 1, %d, 16);", in, tag)
+				e.addf("%s}", in)
+			},
+		}
+
+	case DefectSkew:
+		amp := 5.0 + 4.0*rng.Float64()
+		pw := 6
+		delta := 1.0 + rng.Float64()
+		c := delta * p.work / refNP
+		reps := 8
+		return &defectPlan{
+			at: sitePre,
+			gt: GroundTruth{
+				Kind:          DefectSkew,
+				AffectedRanks: "heavy-tailed subset (per-rank pseudo-random factor)",
+				GrowsWithNP:   false,
+				Note:          fmt.Sprintf("per-rank load factor 1 + %.2f*rand()^%d over %d blocks of %.3g flops", amp, pw, reps, c),
+			},
+			emit: func(e *emitter, in string) {
+				e.addf("%s// DEFECT[skew]: input-dependent per-rank load factor", in)
+				e.addf("%sfor (var dk = 0; dk < 1; dk = dk + 1) {", in)
+				e.addf("%s	var fk = 1 + %g * pow(rand(), %d);", in, amp, pw)
+				e.addf("%s	for (var dk2 = 0; dk2 < %d; dk2 = dk2 + 1) {", in, reps)
+				e.addf("%s		compute(%g * fk, %g * fk, %g * fk, %d);", in, c, c/16, c/32, p.ws)
+				e.addf("%s	}", in)
+				e.addf("%s}", in)
+			},
+		}
+	}
+	return nil
+}
