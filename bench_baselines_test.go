@@ -1,0 +1,83 @@
+package scalana_test
+
+// Guards for the committed benchmark snapshots (scripts/bench-snapshot.sh):
+// BENCH_baseline.json captures the tree-walking interpreter before the
+// bytecode VM landed, BENCH_vm.json the VM on the same benchmarks. The
+// test keeps both files loadable and enforces the VM's headline gates on
+// the zeusmp np=64 sweep benchmark: at least 2x faster with at least an
+// 80% allocation reduction.
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+type benchSnapshot struct {
+	Created    string           `json:"created"`
+	Go         string           `json:"go"`
+	Exec       string           `json:"exec"`
+	Benchmarks []benchSnapEntry `json:"benchmarks"`
+}
+
+type benchSnapEntry struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func loadSnapshot(t *testing.T, path, wantExec string) *benchSnapshot {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("%s is not valid snapshot JSON: %v", path, err)
+	}
+	if snap.Exec != wantExec {
+		t.Fatalf("%s records exec mode %q, want %q", path, snap.Exec, wantExec)
+	}
+	if len(snap.Benchmarks) == 0 {
+		t.Fatalf("%s holds no benchmarks", path)
+	}
+	for _, b := range snap.Benchmarks {
+		if b.Name == "" || b.Iters <= 0 || b.NsPerOp <= 0 {
+			t.Fatalf("%s holds a malformed entry: %+v", path, b)
+		}
+	}
+	return &snap
+}
+
+// findBench matches by name prefix so snapshots taken on multi-core
+// machines (where go test appends a -N GOMAXPROCS suffix) still resolve.
+func findBench(t *testing.T, snap *benchSnapshot, path, name string) *benchSnapEntry {
+	t.Helper()
+	for i := range snap.Benchmarks {
+		if strings.HasPrefix(snap.Benchmarks[i].Name, name) {
+			return &snap.Benchmarks[i]
+		}
+	}
+	t.Fatalf("%s holds no %s entry", path, name)
+	return nil
+}
+
+func TestBenchBaselinesParse(t *testing.T) {
+	base := loadSnapshot(t, "BENCH_baseline.json", "interp")
+	vm := loadSnapshot(t, "BENCH_vm.json", "vm")
+
+	bNP64 := findBench(t, base, "BENCH_baseline.json", "BenchmarkSweepNP64")
+	vNP64 := findBench(t, vm, "BENCH_vm.json", "BenchmarkSweepNP64")
+	if vNP64.NsPerOp > bNP64.NsPerOp/2 {
+		t.Errorf("np=64 sweep: VM %.0f ns/op vs interpreter %.0f ns/op — the committed snapshots no longer show the >=2x speedup",
+			vNP64.NsPerOp, bNP64.NsPerOp)
+	}
+	if vNP64.AllocsPerOp > bNP64.AllocsPerOp/5 {
+		t.Errorf("np=64 sweep: VM %.0f allocs/op vs interpreter %.0f allocs/op — the committed snapshots no longer show the >=80%% allocation reduction",
+			vNP64.AllocsPerOp, bNP64.AllocsPerOp)
+	}
+}

@@ -88,6 +88,8 @@ func BenchmarkAblationContraction(b *testing.B) {
 // BenchmarkAblationCompression compares profile storage with graph-guided
 // communication compression on vs off (paper §III-B2).
 func BenchmarkAblationCompression(b *testing.B) {
+	// One engine across variants: compile once, time execution only.
+	e := scalana.NewEngine()
 	for _, on := range []bool{true, false} {
 		name := "off"
 		if on {
@@ -98,7 +100,7 @@ func BenchmarkAblationCompression(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := prof.DefaultConfig()
 				cfg.Compress = on
-				out, err := scalana.Run(scalana.RunConfig{
+				out, err := e.Run(scalana.RunConfig{
 					App: scalana.GetApp("cg"), NP: 32, Tool: scalana.ToolScalAna, Prof: cfg})
 				if err != nil {
 					b.Fatal(err)
@@ -143,7 +145,9 @@ func BenchmarkAblationMerge(b *testing.B) {
 // measured runtime overhead (the precision/overhead trade-off of §V).
 func BenchmarkAblationSampling(b *testing.B) {
 	app := scalana.GetApp("cg")
-	base, err := scalana.Run(scalana.RunConfig{App: app, NP: 32})
+	// One engine across frequencies: compile once, time execution only.
+	e := scalana.NewEngine()
+	base, err := e.Run(scalana.RunConfig{App: app, NP: 32})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -153,7 +157,7 @@ func BenchmarkAblationSampling(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := prof.DefaultConfig()
 				cfg.SampleHz = hz
-				out, err := scalana.Run(scalana.RunConfig{
+				out, err := e.Run(scalana.RunConfig{
 					App: app, NP: 32, Tool: scalana.ToolScalAna, Prof: cfg})
 				if err != nil {
 					b.Fatal(err)
@@ -203,12 +207,15 @@ func BenchmarkAblationPruning(b *testing.B) {
 // overhead at this scale on Tianhe-2).
 func BenchmarkScale2048(b *testing.B) {
 	app := scalana.GetApp("zeusmp")
+	// One engine for both runs of every iteration: compile once, time
+	// execution only.
+	e := scalana.NewEngine()
 	for i := 0; i < b.N; i++ {
-		base, err := scalana.Run(scalana.RunConfig{App: app, NP: 2048})
+		base, err := e.Run(scalana.RunConfig{App: app, NP: 2048})
 		if err != nil {
 			b.Fatal(err)
 		}
-		out, err := scalana.Run(scalana.RunConfig{App: app, NP: 2048, Tool: scalana.ToolScalAna})
+		out, err := e.Run(scalana.RunConfig{App: app, NP: 2048, Tool: scalana.ToolScalAna})
 		if err != nil {
 			b.Fatal(err)
 		}

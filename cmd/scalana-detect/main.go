@@ -51,6 +51,7 @@ func main() {
 	expectCause := flag.String("expect-cause", "", "exit non-zero unless a reported root cause matches this substring")
 	commCauses := flag.Bool("comm-causes", false, "admit non-scalable collectives as root-cause candidates (detect.Config.CommCauses)")
 	jsonOut := flag.String("json", "", "also write the report as JSON to this file ('-' for stdout)")
+	useInterp := flag.Bool("interp", false, "execute on the tree-walking interpreter instead of the bytecode VM")
 	flag.Parse()
 
 	app := scalana.GetApp(*appName)
@@ -102,6 +103,7 @@ func main() {
 		runs, err = scalana.SweepWithConfig(app, nps, scalana.SweepConfig{
 			Parallelism: *parallel,
 			Prof:        cfg,
+			Interp:      *useInterp,
 		})
 		if err != nil {
 			fatalf("%v", err)

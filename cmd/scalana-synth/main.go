@@ -37,6 +37,7 @@ func main() {
 	corpusOut := flag.String("corpus", "", "write the generated corpus (with ground-truth labels) to this JSON file")
 	jsonOut := flag.String("json", "", "write the scored evaluation to this JSON file ('-' for stdout)")
 	genOnly := flag.Bool("generate-only", false, "generate and write the corpus without evaluating it")
+	useInterp := flag.Bool("interp", false, "evaluate on the tree-walking interpreter instead of the bytecode VM")
 	flag.Parse()
 
 	if *genOnly && *corpusOut == "" {
@@ -67,7 +68,7 @@ func main() {
 		return
 	}
 
-	ecfg := synth.EvalConfig{Parallelism: *parallel, SampleHz: *hz, TopK: *topK}
+	ecfg := synth.EvalConfig{Parallelism: *parallel, SampleHz: *hz, TopK: *topK, Interp: *useInterp}
 	for _, s := range strings.Split(*npList, ",") {
 		np, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || np <= 0 {

@@ -1,0 +1,56 @@
+package scalana_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"scalana/internal/prof"
+
+	scalana "scalana"
+)
+
+// TestEngineExecSelection hammers one Engine from concurrent goroutines
+// that alternate between the bytecode VM and the tree-walking
+// interpreter on the same app. Under -race this exercises the compile
+// cache plus the graph's single-flight bytecode compilation
+// (psg.Graph.CompileExec) when the first VM execution races other
+// selections, and it asserts every goroutine — either engine — produces
+// byte-identical encoded profiles.
+func TestEngineExecSelection(t *testing.T) {
+	app := scalana.GetApp("cg")
+	cfg := prof.DefaultConfig()
+	e := scalana.NewEngine()
+
+	const workers = 8
+	encodings := make([][]byte, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out, err := e.Run(scalana.RunConfig{
+				App: app, NP: 16, ToolName: "scalana", Prof: cfg,
+				Interp: w%2 == 1,
+			})
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			ps := &prof.ProfileSet{App: app.Name, NP: 16, Elapsed: out.Result.Elapsed, Profiles: out.Profiles()}
+			encodings[w], errs[w] = ps.Encode()
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d (interp=%v): %v", w, w%2 == 1, err)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		if !bytes.Equal(encodings[0], encodings[w]) {
+			t.Fatalf("worker %d (interp=%v) profiles diverge from worker 0 (interp=false)", w, w%2 == 1)
+		}
+	}
+}

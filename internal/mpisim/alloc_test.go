@@ -1,0 +1,84 @@
+package mpisim
+
+import "testing"
+
+// Steady-state allocation regression tests for the event arena work: the
+// per-rank event scratch, the sendInfo slab, request/claim-channel
+// pooling, and the collective slot freelist. All ops here run on the
+// test goroutine (sends are eager and post before their receives, so
+// nothing blocks), which keeps testing.AllocsPerRun meaningful on the
+// 1-CPU CI container.
+
+func TestSteadyStateP2PAllocs(t *testing.T) {
+	w := NewWorld(Config{NP: 2, Seed: 1})
+	s, r := w.Proc(0), w.Proc(1)
+	pair := func() {
+		s.Send(1, 7, 64)
+		r.Recv(0, 7, 64)
+		sq := s.Isend(1, 8, 32)
+		rq := r.Irecv(0, 8, 32)
+		r.Wait(rq.ID())
+		s.Wait(sq.ID())
+	}
+	for i := 0; i < 100; i++ {
+		pair() // warm the slab, pools, and channel maps
+	}
+	// 4 messages per run: the only allocations left are the amortized
+	// sendInfo slab chunks and rare growth of the per-channel send lists.
+	if allocs := testing.AllocsPerRun(200, pair); allocs > 0.5 {
+		t.Errorf("steady-state p2p ops average %.2f allocs/run, want ~0 (slab amortization only)", allocs)
+	}
+}
+
+func TestSteadyStateWaitallAllocs(t *testing.T) {
+	w := NewWorld(Config{NP: 2, Seed: 1})
+	s, r := w.Proc(0), w.Proc(1)
+	round := func() {
+		for i := 0; i < 8; i++ {
+			s.Isend(1, i, 16)
+			r.Irecv(0, i, 16)
+		}
+		s.Waitall()
+		r.Waitall()
+	}
+	for i := 0; i < 50; i++ {
+		round()
+	}
+	// Waitall must not copy the request order and must recycle every
+	// request and claim channel it completes.
+	if allocs := testing.AllocsPerRun(100, round); allocs > 0.5 {
+		t.Errorf("steady-state waitall rounds average %.2f allocs/run, want ~0", allocs)
+	}
+}
+
+func TestSteadyStateCollectiveAllocs(t *testing.T) {
+	// An NP=1 world completes collectives inline, so the freelist path
+	// runs without goroutine coordination.
+	w := NewWorld(Config{NP: 1, Seed: 1})
+	p := w.Proc(0)
+	round := func() {
+		p.Allreduce(64)
+		p.Barrier()
+	}
+	for i := 0; i < 20; i++ {
+		round()
+	}
+	// Slots and their arrivals recycle through the freelist; the one
+	// allocation left per collective is its fresh done channel (closed
+	// channels cannot be reused).
+	if allocs := testing.AllocsPerRun(100, round); allocs > 2.5 {
+		t.Errorf("steady-state collective rounds average %.2f allocs/run, want <= 2 (done channels only)", allocs)
+	}
+}
+
+func TestEmitDoesNotAllocate(t *testing.T) {
+	w := NewWorld(Config{NP: 1, Seed: 1, HookFactory: func(rank int) []Hook {
+		return []Hook{&chargingHook{}}
+	}})
+	p := w.Proc(0)
+	ev := Event{Kind: EvSend, Op: "mpi_send", Peer: 0, Tag: 1, Bytes: 64, DepRank: -1, Root: -1}
+	p.emit(ev)
+	if allocs := testing.AllocsPerRun(100, func() { p.emit(ev) }); allocs > 0 {
+		t.Errorf("emit averages %.2f allocs, want 0 (events stage in per-rank scratch)", allocs)
+	}
+}

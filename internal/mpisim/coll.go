@@ -37,10 +37,32 @@ type collectives struct {
 	w     *World
 	mu    sync.Mutex
 	slots map[int]*collSlot
+	// free recycles retired slots. A slot retires only after every rank
+	// has read its results (reads == np), so reuse cannot race readers;
+	// the arrivals slice is reused as-is because all np entries are
+	// rewritten before the last arriver inspects them.
+	free []*collSlot
 }
 
 func newCollectives(w *World) *collectives {
 	return &collectives{w: w, slots: map[int]*collSlot{}}
+}
+
+// newSlot allocates or recycles a slot. Caller holds c.mu.
+func (c *collectives) newSlot(op string, root int, bytes float64) *collSlot {
+	var slot *collSlot
+	if n := len(c.free); n > 0 {
+		slot = c.free[n-1]
+		c.free = c.free[:n-1]
+		arr := slot.arrivals
+		*slot = collSlot{arrivals: arr}
+	} else {
+		slot = &collSlot{arrivals: make([]arrival, c.w.np)}
+	}
+	slot.op, slot.root, slot.bytes = op, root, bytes
+	slot.depRank = -1
+	slot.done = make(chan struct{})
+	return slot
 }
 
 // cost returns the collective's completion cost beyond the last arrival,
@@ -82,14 +104,7 @@ func (p *Proc) collective(op string, root int, bytes float64) {
 	c.mu.Lock()
 	slot := c.slots[seq]
 	if slot == nil {
-		slot = &collSlot{
-			op:       op,
-			root:     root,
-			bytes:    bytes,
-			arrivals: make([]arrival, p.world.np),
-			done:     make(chan struct{}),
-			depRank:  -1,
-		}
+		slot = c.newSlot(op, root, bytes)
 		c.slots[seq] = slot
 	}
 	if slot.op != op {
@@ -117,10 +132,16 @@ func (p *Proc) collective(op string, root int, bytes float64) {
 
 	select {
 	case <-slot.done:
-	case <-p.world.abort:
-		panic("mpisim: run aborted by failure on another rank")
-	case <-time.After(p.world.cfg.DeadlockTimeout):
-		panic(fmt.Sprintf("mpisim: rank %d deadlocked in %s #%d (%d/%d ranks arrived)", p.Rank, op, seq, slot.got, p.world.np))
+		// Fast path: the collective already completed; skip the timer
+		// select below, whose time.After allocates even when unused.
+	default:
+		select {
+		case <-slot.done:
+		case <-p.world.abort:
+			panic("mpisim: run aborted by failure on another rank")
+		case <-time.After(p.world.cfg.DeadlockTimeout):
+			panic(fmt.Sprintf("mpisim: rank %d deadlocked in %s #%d (%d/%d ranks arrived)", p.Rank, op, seq, slot.got, p.world.np))
+		}
 	}
 
 	myArrival := p.Clock
@@ -136,7 +157,7 @@ func (p *Proc) collective(op string, root int, bytes float64) {
 		// This rank was the straggler; it depends on no one here.
 		depRank, depCtx = -1, nil
 	}
-	p.emit(&Event{Kind: EvCollective, Op: op, Peer: -1, Bytes: bytes,
+	p.emit(Event{Kind: EvCollective, Op: op, Peer: -1, Bytes: bytes,
 		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: depRank, DepCtx: depCtx,
 		Collective: true, Root: root})
 
@@ -144,6 +165,7 @@ func (p *Proc) collective(op string, root int, bytes float64) {
 	slot.reads++
 	if slot.reads == p.world.np {
 		delete(c.slots, seq)
+		c.free = append(c.free, slot)
 	}
 	c.mu.Unlock()
 }

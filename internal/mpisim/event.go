@@ -154,6 +154,9 @@ type Hook interface {
 	// pmu holds the PMU counter deltas accrued during the advance (zero
 	// for waits and perturbation).
 	Advance(p *Proc, from, to float64, kind AdvanceKind, ctx any, pmu machine.Vec) (overhead float64)
-	// MPIEvent is called after each MPI operation completes.
+	// MPIEvent is called after each MPI operation completes. The Event
+	// points into per-rank scratch storage that is reused by the next
+	// operation: it is valid only for the duration of the call, and
+	// implementations that keep event data must copy the fields out.
 	MPIEvent(p *Proc, ev *Event) (overhead float64)
 }

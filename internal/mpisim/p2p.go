@@ -42,6 +42,21 @@ type matcher struct {
 	mu         chan struct{} // 1-buffered channel used as a mutex with abort support
 	chans      map[p2pKey]*channel
 	anyWaiters map[anyKey][]chan *sendInfo
+	// slab is the current sendInfo allocation chunk. Records live for the
+	// whole run (channels keep them for matching), so the slab only grows;
+	// chunks are never appended past capacity, keeping pointers stable.
+	slab []sendInfo
+}
+
+const sendSlabChunk = 256
+
+// newSendInfo carves one record out of the slab. Caller holds m.mu.
+func (m *matcher) newSendInfo() *sendInfo {
+	if len(m.slab) == cap(m.slab) {
+		m.slab = make([]sendInfo, 0, sendSlabChunk)
+	}
+	m.slab = append(m.slab, sendInfo{})
+	return &m.slab[len(m.slab)-1]
 }
 
 func newMatcher(w *World) *matcher {
@@ -72,7 +87,8 @@ func (m *matcher) postSend(src, dst, tag int, bytes, tArrive float64, ctx any) {
 	m.lock()
 	k := p2pKey{src, dst, tag}
 	ch := m.chanFor(k)
-	info := &sendInfo{from: src, seq: len(ch.sends), bytes: bytes, tArrive: tArrive, ctx: ctx}
+	info := m.newSendInfo()
+	*info = sendInfo{from: src, seq: len(ch.sends), bytes: bytes, tArrive: tArrive, ctx: ctx}
 	ch.sends = append(ch.sends, info)
 	if wtr, ok := ch.waiters[info.seq]; ok {
 		delete(ch.waiters, info.seq)
@@ -112,10 +128,12 @@ func (m *matcher) claimRecv(p *Proc, src, dst, tag int) *sendInfo {
 		m.unlock()
 		return info
 	}
-	wtr := make(chan *sendInfo, 1)
+	wtr := p.claimChan()
 	ch.waiters[seq] = wtr
 	m.unlock()
-	return m.await(p, wtr, fmt.Sprintf("recv from %d tag %d", src, tag))
+	info := m.await(p, wtr, fmt.Sprintf("recv from %d tag %d", src, tag))
+	p.freeClaims = append(p.freeClaims, wtr)
+	return info
 }
 
 // claimRecvAny matches the next wildcard receive on (dst,tag).
@@ -142,13 +160,22 @@ func (m *matcher) claimRecvAny(p *Proc, dst, tag int) *sendInfo {
 		return best
 	}
 	ak := anyKey{dst, tag}
-	wtr := make(chan *sendInfo, 1)
+	wtr := p.claimChan()
 	m.anyWaiters[ak] = append(m.anyWaiters[ak], wtr)
 	m.unlock()
-	return m.await(p, wtr, fmt.Sprintf("recv from any tag %d", tag))
+	info := m.await(p, wtr, fmt.Sprintf("recv from any tag %d", tag))
+	p.freeClaims = append(p.freeClaims, wtr)
+	return info
 }
 
 func (m *matcher) await(p *Proc, wtr chan *sendInfo, what string) *sendInfo {
+	select {
+	case info := <-wtr:
+		// Fast path: matched between registration and here; skip the
+		// allocating timer select.
+		return info
+	default:
+	}
 	select {
 	case info := <-wtr:
 		return info
@@ -190,7 +217,7 @@ func (p *Proc) Send(dst, tag int, bytes float64) {
 	p.mpiOverhead()
 	p.advance(bytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
 	p.world.matcher.postSend(p.Rank, dst, tag, bytes, p.Clock+p.world.cfg.Net.Latency, p.Ctx)
-	p.emit(&Event{Kind: EvSend, Op: "mpi_send", Peer: dst, Tag: tag, Bytes: bytes, TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1})
+	p.emit(Event{Kind: EvSend, Op: "mpi_send", Peer: dst, Tag: tag, Bytes: bytes, TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1})
 }
 
 // Recv is a blocking receive from a specific source.
@@ -201,7 +228,7 @@ func (p *Proc) Recv(src, tag int, bytes float64) {
 	info := p.world.matcher.claimRecv(p, src, p.Rank, tag)
 	wait := p.waitUntil(info.tArrive)
 	p.advance(info.bytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
-	p.emit(&Event{Kind: EvRecv, Op: "mpi_recv", Peer: info.from, Tag: tag, Bytes: info.bytes,
+	p.emit(Event{Kind: EvRecv, Op: "mpi_recv", Peer: info.from, Tag: tag, Bytes: info.bytes,
 		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: info.from, DepCtx: info.ctx, Root: -1})
 }
 
@@ -213,7 +240,7 @@ func (p *Proc) RecvAny(tag int, bytes float64) int {
 	info := p.world.matcher.claimRecvAny(p, p.Rank, tag)
 	wait := p.waitUntil(info.tArrive)
 	p.advance(info.bytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
-	p.emit(&Event{Kind: EvRecv, Op: "mpi_recv_any", Peer: info.from, Tag: tag, Bytes: info.bytes,
+	p.emit(Event{Kind: EvRecv, Op: "mpi_recv_any", Peer: info.from, Tag: tag, Bytes: info.bytes,
 		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: info.from, DepCtx: info.ctx, Root: -1})
 	return info.from
 }
@@ -226,8 +253,8 @@ func (p *Proc) Isend(dst, tag int, bytes float64) *Request {
 	p.mpiOverhead()
 	p.advance(bytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
 	p.world.matcher.postSend(p.Rank, dst, tag, bytes, p.Clock+p.world.cfg.Net.Latency, p.Ctx)
-	req := p.newRequest(&Request{isSend: true, src: dst, tag: tag, bytes: bytes, postCtx: p.Ctx})
-	p.emit(&Event{Kind: EvIsend, Op: "mpi_isend", Peer: dst, Tag: tag, Bytes: bytes, TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1, ReqID: req.id})
+	req := p.newRequest(true, dst, tag, bytes)
+	p.emit(Event{Kind: EvIsend, Op: "mpi_isend", Peer: dst, Tag: tag, Bytes: bytes, TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1, ReqID: req.id})
 	return req
 }
 
@@ -237,9 +264,9 @@ func (p *Proc) Irecv(src, tag int, bytes float64) *Request {
 	p.validPeer(src)
 	t0 := p.Clock
 	p.mpiOverhead()
-	req := p.newRequest(&Request{src: src, tag: tag, bytes: bytes, postCtx: p.Ctx})
+	req := p.newRequest(false, src, tag, bytes)
 	req.claim = p.claimAsync(src, tag)
-	p.emit(&Event{Kind: EvIrecv, Op: "mpi_irecv", Peer: src, Tag: tag, Bytes: bytes, TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1, ReqID: req.id})
+	p.emit(Event{Kind: EvIrecv, Op: "mpi_irecv", Peer: src, Tag: tag, Bytes: bytes, TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1, ReqID: req.id})
 	return req
 }
 
@@ -248,14 +275,15 @@ func (p *Proc) Irecv(src, tag int, bytes float64) *Request {
 func (p *Proc) IrecvAny(tag int, bytes float64) *Request {
 	t0 := p.Clock
 	p.mpiOverhead()
-	req := p.newRequest(&Request{src: AnySource, tag: tag, bytes: bytes, postCtx: p.Ctx})
-	p.emit(&Event{Kind: EvIrecv, Op: "mpi_irecv_any", Peer: AnySource, Tag: tag, Bytes: bytes, TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1, ReqID: req.id})
+	req := p.newRequest(false, AnySource, tag, bytes)
+	p.emit(Event{Kind: EvIrecv, Op: "mpi_irecv_any", Peer: AnySource, Tag: tag, Bytes: bytes, TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1, ReqID: req.id})
 	return req
 }
 
 // claimAsync claims the next sequence number for (src -> p.Rank, tag) and
 // returns a channel that will deliver the matching send.
 func (p *Proc) claimAsync(src, tag int) chan *sendInfo {
+	out := p.claimChan()
 	m := p.world.matcher
 	m.lock()
 	k := p2pKey{src, p.Rank, tag}
@@ -263,7 +291,6 @@ func (p *Proc) claimAsync(src, tag int) chan *sendInfo {
 	ch.hasSpecific = true
 	seq := ch.recvClaims
 	ch.recvClaims++
-	out := make(chan *sendInfo, 1)
 	if seq < len(ch.sends) {
 		info := ch.sends[seq]
 		info.matched = true
@@ -276,12 +303,43 @@ func (p *Proc) claimAsync(src, tag int) chan *sendInfo {
 	return out
 }
 
-func (p *Proc) newRequest(r *Request) *Request {
+// claimChan returns a 1-buffered delivery channel, reusing a drained one
+// from the rank's pool when available.
+func (p *Proc) claimChan() chan *sendInfo {
+	if n := len(p.freeClaims); n > 0 {
+		ch := p.freeClaims[n-1]
+		p.freeClaims = p.freeClaims[:n-1]
+		return ch
+	}
+	return make(chan *sendInfo, 1)
+}
+
+func (p *Proc) newRequest(isSend bool, src, tag int, bytes float64) *Request {
+	var r *Request
+	if n := len(p.freeReqs); n > 0 {
+		r = p.freeReqs[n-1]
+		p.freeReqs = p.freeReqs[:n-1]
+		*r = Request{}
+	} else {
+		r = &Request{}
+	}
+	r.isSend, r.src, r.tag, r.bytes, r.postCtx = isSend, src, tag, bytes, p.Ctx
 	p.nextReq++
 	r.id = p.nextReq
 	p.reqs[r.id] = r
 	p.reqOrder = append(p.reqOrder, r.id)
 	return r
+}
+
+// recycleRequest returns a completed request (already removed from
+// p.reqs) to the rank's pool, along with its claim channel when the
+// claim has been consumed (a consumed claim channel is empty and no
+// longer registered with the matcher).
+func (p *Proc) recycleRequest(r *Request) {
+	if r.claim != nil && r.claimed != nil {
+		p.freeClaims = append(p.freeClaims, r.claim)
+	}
+	p.freeReqs = append(p.freeReqs, r)
 }
 
 // FindRequest resolves an application-level request handle.
@@ -303,22 +361,33 @@ func (p *Proc) resolve(r *Request) *sendInfo {
 	}
 	select {
 	case info := <-r.claim:
+		// Fast path: the matching send is already buffered; skip the
+		// timer select below, whose time.After allocates even when unused.
 		r.claimed = info
-	case <-p.world.abort:
-		panic("mpisim: run aborted by failure on another rank")
-	case <-time.After(p.world.cfg.DeadlockTimeout):
-		panic(fmt.Sprintf("mpisim: rank %d deadlocked waiting for irecv from %d tag %d", p.Rank, r.src, r.tag))
+	default:
+		select {
+		case info := <-r.claim:
+			r.claimed = info
+		case <-p.world.abort:
+			panic("mpisim: run aborted by failure on another rank")
+		case <-time.After(p.world.cfg.DeadlockTimeout):
+			panic(fmt.Sprintf("mpisim: rank %d deadlocked waiting for irecv from %d tag %d", p.Rank, r.src, r.tag))
+		}
 	}
 	return r.claimed
 }
 
 func (p *Proc) dropRequest(id int) {
+	r := p.reqs[id]
 	delete(p.reqs, id)
 	for i, x := range p.reqOrder {
 		if x == id {
 			p.reqOrder = append(p.reqOrder[:i], p.reqOrder[i+1:]...)
 			break
 		}
+	}
+	if r != nil {
+		p.recycleRequest(r)
 	}
 }
 
@@ -334,7 +403,7 @@ func (p *Proc) Wait(id int) {
 	p.mpiOverhead()
 	if r.isSend {
 		p.dropRequest(id)
-		p.emit(&Event{Kind: EvWait, Op: "mpi_wait", Peer: r.src, Tag: r.tag, Bytes: r.bytes,
+		p.emit(Event{Kind: EvWait, Op: "mpi_wait", Peer: r.src, Tag: r.tag, Bytes: r.bytes,
 			TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1, Requests: 1, ReqID: id})
 		return
 	}
@@ -342,7 +411,7 @@ func (p *Proc) Wait(id int) {
 	wait := p.waitUntil(info.tArrive)
 	p.advance(info.bytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
 	p.dropRequest(id)
-	p.emit(&Event{Kind: EvWait, Op: "mpi_wait", Peer: info.from, Tag: r.tag, Bytes: info.bytes,
+	p.emit(Event{Kind: EvWait, Op: "mpi_wait", Peer: info.from, Tag: r.tag, Bytes: info.bytes,
 		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: info.from, DepCtx: info.ctx, Root: -1, Requests: 1, ReqID: id})
 }
 
@@ -352,37 +421,39 @@ func (p *Proc) Wait(id int) {
 func (p *Proc) Waitall() {
 	t0 := p.Clock
 	p.mpiOverhead()
-	order := append([]int(nil), p.reqOrder...)
 	var lastArrive float64
 	depRank := -1
 	var depCtx any
 	var totalBytes float64
 	n, nRecv := 0, 0
-	for _, id := range order {
+	// Completing everything lets the loop walk reqOrder in place (only the
+	// rank's own goroutine mutates it) and release the slice wholesale
+	// afterwards instead of splicing per request.
+	for _, id := range p.reqOrder {
 		r := p.reqs[id]
 		if r == nil {
 			continue
 		}
 		n++
-		if r.isSend {
-			p.dropRequest(id)
-			continue
+		if !r.isSend {
+			nRecv++
+			info := p.resolve(r)
+			totalBytes += info.bytes
+			if info.tArrive > lastArrive {
+				lastArrive = info.tArrive
+				depRank = info.from
+				depCtx = info.ctx
+			}
 		}
-		nRecv++
-		info := p.resolve(r)
-		totalBytes += info.bytes
-		if info.tArrive > lastArrive {
-			lastArrive = info.tArrive
-			depRank = info.from
-			depCtx = info.ctx
-		}
-		p.dropRequest(id)
+		delete(p.reqs, id)
+		p.recycleRequest(r)
 	}
+	p.reqOrder = p.reqOrder[:0]
 	wait := p.waitUntil(lastArrive)
 	if totalBytes > 0 {
 		p.advance(totalBytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
 	}
-	p.emit(&Event{Kind: EvWaitall, Op: "mpi_waitall", Peer: depRank, Tag: 0, Bytes: totalBytes,
+	p.emit(Event{Kind: EvWaitall, Op: "mpi_waitall", Peer: depRank, Tag: 0, Bytes: totalBytes,
 		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: depRank, DepCtx: depCtx, Root: -1,
 		Requests: n, RecvRequests: nRecv})
 }
@@ -399,7 +470,7 @@ func (p *Proc) Sendrecv(dst, stag int, sbytes float64, src, rtag int, rbytes flo
 	info := p.world.matcher.claimRecv(p, src, p.Rank, rtag)
 	wait := p.waitUntil(info.tArrive)
 	p.advance(info.bytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
-	p.emit(&Event{Kind: EvSendrecv, Op: "mpi_sendrecv", Peer: info.from, Tag: rtag, Bytes: sbytes + info.bytes,
+	p.emit(Event{Kind: EvSendrecv, Op: "mpi_sendrecv", Peer: info.from, Tag: rtag, Bytes: sbytes + info.bytes,
 		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: info.from, DepCtx: info.ctx, Root: -1,
 		SendPeer: dst, SendBytes: sbytes})
 }

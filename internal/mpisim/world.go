@@ -185,6 +185,16 @@ type Proc struct {
 	reqOrder []int
 	nextReq  int
 	collSeq  int
+
+	// evScratch stages events for emit: hooks receive a pointer into it,
+	// valid only for the duration of the callback, so steady-state
+	// simulation emits events without allocating.
+	evScratch Event
+	// freeReqs and freeClaims recycle completed request handles and their
+	// drained claim channels. Both are touched only by the rank's own
+	// goroutine.
+	freeReqs   []*Request
+	freeClaims []chan *sendInfo
 }
 
 // NP returns the job size.
@@ -220,15 +230,19 @@ func (p *Proc) advance(dt float64, kind AdvanceKind, pmu machine.Vec) {
 	}
 }
 
-func (p *Proc) emit(ev *Event) {
+// emit reports one completed MPI operation to the rank's hooks. The
+// event is staged in per-rank scratch storage that the next operation
+// overwrites; hooks must copy any fields they keep (see Hook).
+func (p *Proc) emit(ev Event) {
 	ev.Rank = p.Rank
 	ev.Ctx = p.Ctx
 	if ev.Kind != EvSendrecv {
 		ev.SendPeer = -1
 	}
+	p.evScratch = ev
 	var owed float64
 	for _, h := range p.rawHooks {
-		owed += h.MPIEvent(p, ev)
+		owed += h.MPIEvent(p, &p.evScratch)
 	}
 	if owed > 0 {
 		p.Perturb(owed)

@@ -169,6 +169,12 @@ func commLess(a, b *commRecordDTO) bool {
 	if a.DepVertex != b.DepVertex {
 		return a.DepVertex < b.DepVertex
 	}
+	if a.Tag != b.Tag {
+		return a.Tag < b.Tag
+	}
+	if a.Collective != b.Collective {
+		return !a.Collective
+	}
 	return a.Bytes < b.Bytes
 }
 

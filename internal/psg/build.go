@@ -73,6 +73,25 @@ type Graph struct {
 	// re-finalization.
 	vids  []*Vertex
 	vidOf map[string]VID
+
+	// Executable-form cache (see CompileExec). psg cannot depend on the
+	// bytecode VM, so the cached value is opaque here; scalana stores the
+	// vm.Program compiled for this graph.
+	execOnce sync.Once
+	execProg any
+	execErr  error
+}
+
+// CompileExec memoizes an executable form of the graph's program (the
+// bytecode VM's linked Program). The build function runs at most once
+// per graph, with single-flight semantics under concurrent callers;
+// every run sharing this graph then shares the one compiled artifact,
+// mirroring how the Engine shares the graph itself.
+func (g *Graph) CompileExec(build func() (any, error)) (any, error) {
+	g.execOnce.Do(func() {
+		g.execProg, g.execErr = build()
+	})
+	return g.execProg, g.execErr
 }
 
 // Build constructs the PSG of prog: intra-procedural graphs per function,

@@ -1,0 +1,149 @@
+// Package difftest is the differential harness that holds the bytecode
+// VM and the tree-walking interpreter to identical observable behavior.
+// The interpreter is the semantic oracle: for a given workload the
+// harness executes every pipeline stage twice — once per execution
+// engine — and demands byte-identical ScalAna profiles at every scale,
+// byte-identical detect reports (rendered text and JSON), and identical
+// communication matrices. Any divergence is a VM bug by definition.
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+
+	"scalana/internal/commmatrix"
+	"scalana/internal/detect"
+	"scalana/internal/minilang"
+	"scalana/internal/prof"
+	"scalana/internal/psg"
+
+	scalana "scalana"
+)
+
+// Config configures one differential comparison.
+type Config struct {
+	// NPs are the job scales swept (scales below the app's MinNP are
+	// dropped; default 4 and 8, small enough for CI).
+	NPs []int
+	// SampleHz overrides the profiler sampling rate (0 = prof default).
+	SampleHz float64
+	// Seed seeds both executions identically.
+	Seed int64
+}
+
+func (cfg Config) scales(app *scalana.App) []int {
+	nps := cfg.NPs
+	if len(nps) == 0 {
+		nps = []int{4, 8}
+	}
+	var out []int
+	for _, np := range nps {
+		if np >= app.MinNP {
+			out = append(out, np)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{app.MinNP}
+	}
+	return out
+}
+
+// DiffApp runs the app through both execution engines and returns an
+// error describing the first divergence, or nil when the interpreter and
+// the VM agree byte-for-byte.
+func DiffApp(app *scalana.App, cfg Config) error {
+	nps := cfg.scales(app)
+	prog, graph, err := scalana.Compile(app)
+	if err != nil {
+		return err
+	}
+	profCfg := prof.DefaultConfig()
+	if cfg.SampleHz != 0 {
+		profCfg.SampleHz = cfg.SampleHz
+	}
+
+	// Profile at every scale on both engines, comparing the encoded
+	// profile sets, and keep each engine's PPGs for detection.
+	runsByMode := [2][]detect.ScaleRun{}
+	for _, np := range nps {
+		var encoded [2][]byte
+		for mode := 0; mode < 2; mode++ {
+			out, enc, err := profileOnce(prog, graph, app, np, profCfg, cfg.Seed, mode == 1)
+			if err != nil {
+				return err
+			}
+			encoded[mode] = enc
+			runsByMode[mode] = append(runsByMode[mode], detect.ScaleRun{NP: np, PPG: out.PPG()})
+		}
+		if !bytes.Equal(encoded[0], encoded[1]) {
+			return fmt.Errorf("%s np=%d: VM and interpreter profiles diverge:\n--- vm ---\n%s\n--- interp ---\n%s",
+				app.Name, np, encoded[0], encoded[1])
+		}
+	}
+
+	// The full detect stage must agree too: same report text, same JSON.
+	dcfg := detect.DefaultConfig()
+	dcfg.CommCauses = true
+	var renders [2]string
+	var jsons [2][]byte
+	for mode := 0; mode < 2; mode++ {
+		rep, err := scalana.DetectScalingLoss(runsByMode[mode], dcfg)
+		if err != nil {
+			return fmt.Errorf("%s (interp=%v): detect: %w", app.Name, mode == 1, err)
+		}
+		renders[mode] = rep.Render(prog)
+		jsons[mode], err = rep.EncodeJSON()
+		if err != nil {
+			return fmt.Errorf("%s (interp=%v): encode report: %w", app.Name, mode == 1, err)
+		}
+	}
+	if renders[0] != renders[1] {
+		return fmt.Errorf("%s: VM and interpreter detect reports diverge:\n--- vm ---\n%s\n--- interp ---\n%s",
+			app.Name, renders[0], renders[1])
+	}
+	if !bytes.Equal(jsons[0], jsons[1]) {
+		return fmt.Errorf("%s: VM and interpreter detect report JSON diverges:\n--- vm ---\n%s\n--- interp ---\n%s",
+			app.Name, jsons[0], jsons[1])
+	}
+
+	// Communication matrices at the smallest scale.
+	var mats [2]*commmatrix.Matrix
+	for mode := 0; mode < 2; mode++ {
+		out, err := scalana.RunCompiled(prog, graph, scalana.RunConfig{
+			App: app, NP: nps[0], ToolName: "commmatrix", Seed: cfg.Seed, Interp: mode == 1,
+		})
+		if err != nil {
+			return fmt.Errorf("%s np=%d (interp=%v): comm matrix run: %w", app.Name, nps[0], mode == 1, err)
+		}
+		m, ok := out.Measurement.Data().(*commmatrix.Matrix)
+		if !ok {
+			return fmt.Errorf("%s: commmatrix tool produced %T, want *commmatrix.Matrix", app.Name, out.Measurement.Data())
+		}
+		mats[mode] = m
+	}
+	if mats[0].NP != mats[1].NP ||
+		!reflect.DeepEqual(mats[0].Bytes, mats[1].Bytes) ||
+		!reflect.DeepEqual(mats[0].Msgs, mats[1].Msgs) {
+		return fmt.Errorf("%s np=%d: VM and interpreter comm matrices diverge (vm total %g bytes, interp total %g bytes)",
+			app.Name, nps[0], mats[0].TotalBytes(), mats[1].TotalBytes())
+	}
+	return nil
+}
+
+// profileOnce runs one profiled execution and returns the output plus the
+// canonical encoding of its profile set.
+func profileOnce(prog *minilang.Program, graph *psg.Graph, app *scalana.App, np int, profCfg prof.Config, seed int64, useInterp bool) (*scalana.RunOutput, []byte, error) {
+	out, err := scalana.RunCompiled(prog, graph, scalana.RunConfig{
+		App: app, NP: np, ToolName: "scalana", Prof: profCfg, Seed: seed, Interp: useInterp,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s np=%d (interp=%v): %w", app.Name, np, useInterp, err)
+	}
+	ps := &prof.ProfileSet{App: app.Name, NP: np, Elapsed: out.Result.Elapsed, Profiles: out.Profiles()}
+	enc, err := ps.Encode()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s np=%d (interp=%v): encode profiles: %w", app.Name, np, useInterp, err)
+	}
+	return out, enc, nil
+}

@@ -1,0 +1,43 @@
+package difftest
+
+import (
+	"testing"
+
+	"scalana/internal/synth"
+
+	scalana "scalana"
+)
+
+// TestAppsByteIdentical holds the VM to the interpreter oracle on every
+// registered workload: the NPB kernels, the three case-study apps with
+// their -opt variants, and the demo programs.
+func TestAppsByteIdentical(t *testing.T) {
+	for _, name := range scalana.AppNames() {
+		app := scalana.GetApp(name)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if err := DiffApp(app, Config{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSynthCorpusByteIdentical holds the VM to the oracle on the full
+// seeded synthetic-defect corpus (the same 25-case corpus the detection
+// accuracy harness evaluates).
+func TestSynthCorpusByteIdentical(t *testing.T) {
+	corpus, err := synth.Generate(synth.GenConfig{Seed: 1, Cases: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range corpus.Cases {
+		app := c.App()
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := DiffApp(app, Config{Seed: corpus.Seed}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package vm
+
+import (
+	"fmt"
+	"sync"
+
+	"scalana/internal/minilang"
+	"scalana/internal/psg"
+)
+
+// Program is a MiniMP program compiled to bytecode and linked against a
+// PSG. The bytecode of each function is compiled once and shared by all
+// of its instances; the Link side tables carry everything that differs
+// per instance (attribution vertices and callee instances), so a
+// Program is immutable after Compile and safe to execute from many
+// ranks and many worlds concurrently.
+type Program struct {
+	prog  *minilang.Program
+	graph *psg.Graph
+	codes map[string]*Code
+	main  *Link
+
+	// mu guards links and the slow indirect-resolution path. The fast
+	// paths never take it.
+	mu    sync.Mutex
+	links map[*psg.Instance]*Link
+	// slow memoizes indirect targets resolved after linking (targets
+	// that were never address-taken, reached only by direct API use).
+	// Existing Link.indirect maps are never mutated — concurrent ranks
+	// read them without synchronization.
+	slow map[slowKey]*Link
+}
+
+type slowKey struct {
+	link   *Link
+	site   int32
+	target string
+}
+
+// Link binds one function's shared bytecode to one psg.Instance. Its
+// tables are indexed by the site indices the instructions carry.
+type Link struct {
+	inst *psg.Instance
+	code *Code
+
+	// ctx holds the attribution vertex per opSetCtx site; nil means the
+	// node was contracted away in this instance and the context keeps
+	// its previous value, exactly like the interpreter's setCtx.
+	ctx []*psg.Vertex
+	// calls holds the callee Link per direct call site.
+	calls []*Link
+	// indirect holds the pre-materialized targets per indirect site.
+	indirect []map[string]*Link
+}
+
+// Compile lowers every function of prog to bytecode, cross-checks the
+// lowering against the internal/ir CFG (see verify.go), and links the
+// instance tree rooted at graph.Main.
+func Compile(prog *minilang.Program, graph *psg.Graph) (*Program, error) {
+	p := &Program{
+		prog:  prog,
+		graph: graph,
+		codes: make(map[string]*Code, len(prog.Funcs)),
+		links: map[*psg.Instance]*Link{},
+		slow:  map[slowKey]*Link{},
+	}
+	for _, fn := range prog.Funcs {
+		code, err := compileFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		if err := verifyLowering(fn, code); err != nil {
+			return nil, err
+		}
+		p.codes[fn.Name] = code
+	}
+	if graph.Main == nil {
+		return nil, fmt.Errorf("vm: PSG has no main instance")
+	}
+	p.mu.Lock()
+	p.main = p.linkLocked(graph.Main)
+	p.mu.Unlock()
+	return p, nil
+}
+
+// linkLocked returns the Link for inst, building it (and, recursively,
+// its callees) on first use. The memo entry is installed before the
+// recursion so recursive call cycles resolve to the in-progress Link.
+func (p *Program) linkLocked(inst *psg.Instance) *Link {
+	if l, ok := p.links[inst]; ok {
+		return l
+	}
+	code := p.codes[inst.Fn.Name]
+	l := &Link{
+		inst:     inst,
+		code:     code,
+		ctx:      make([]*psg.Vertex, len(code.ctxNodes)),
+		calls:    make([]*Link, len(code.calls)),
+		indirect: make([]map[string]*Link, len(code.indirects)),
+	}
+	p.links[inst] = l
+	for i, id := range code.ctxNodes {
+		l.ctx[i] = inst.VertexOf(id)
+	}
+	for i := range code.calls {
+		if child := inst.CalleeInstance(code.calls[i].node); child != nil {
+			l.calls[i] = p.linkLocked(child)
+		}
+	}
+	for i := range code.indirects {
+		targets := inst.IndirectTargets(code.indirects[i].node)
+		if len(targets) == 0 {
+			continue
+		}
+		m := make(map[string]*Link, len(targets))
+		for name, ti := range targets {
+			m[name] = p.linkLocked(ti)
+		}
+		l.indirect[i] = m
+	}
+	return l
+}
+
+// resolveSlow handles an indirect call whose target was not
+// pre-materialized at link time. Program semantics cannot reach this
+// (function values come only from &name, and every address-taken
+// function is materialized by psg.Build), but psg keeps a slow path for
+// direct API callers and the VM mirrors it. Panics carry the
+// interpreter's messages.
+func (p *Program) resolveSlow(l *Link, site int32, target string) *Link {
+	is := &l.code.indirects[site]
+	if p.prog.Func(target) == nil {
+		panic(fmt.Sprintf("%s: indirect call to unknown function %q", is.pos, target))
+	}
+	inst, err := p.graph.ResolveIndirect(l.inst, is.node, target)
+	if err != nil {
+		panic(fmt.Sprintf("%s: %v", is.pos, err))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := slowKey{link: l, site: site, target: target}
+	if child, ok := p.slow[key]; ok {
+		return child
+	}
+	child := p.linkLocked(inst)
+	p.slow[key] = child
+	return child
+}

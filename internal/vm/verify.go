@@ -1,0 +1,99 @@
+package vm
+
+import (
+	"fmt"
+
+	"scalana/internal/ir"
+	"scalana/internal/minilang"
+)
+
+// verifyLowering cross-checks freshly emitted bytecode against the
+// internal/ir lowering of the same function: the reachable call-like
+// instruction counts (direct, indirect, MPI, compute) and the natural
+// loop count must agree between the CFG and the bytecode. The two
+// lowerings are written independently, so agreement catches whole
+// classes of compiler bugs (dropped calls, mis-wired loop back edges)
+// at Compile time instead of as silent event-stream divergence.
+func verifyLowering(fn *minilang.FuncDecl, code *Code) error {
+	cfg := ir.Lower(fn)
+	dt := ir.ComputeDominators(cfg)
+
+	var irCalls, irInd, irMPI, irCompute int
+	for _, b := range cfg.Blocks {
+		if !dt.Reachable(b.ID) {
+			continue
+		}
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpCall:
+				irCalls++
+			case ir.OpIndirectCall:
+				irInd++
+			case ir.OpMPI:
+				irMPI++
+			case ir.OpCompute:
+				irCompute++
+			}
+		}
+	}
+	irLoops := len(ir.FindLoops(cfg, dt))
+
+	reach := reachableInstrs(code)
+	var bcCalls, bcInd, bcMPI, bcCompute int
+	backTargets := map[int32]bool{}
+	for i, in := range code.instrs {
+		if !reach[i] {
+			continue
+		}
+		switch in.op {
+		case opCall:
+			bcCalls++
+		case opCallInd:
+			bcInd++
+		case opMPI:
+			bcMPI++
+		case opCompute:
+			bcCompute++
+		case opJmp:
+			if in.a <= int32(i) {
+				backTargets[in.a] = true
+			}
+		}
+	}
+	bcLoops := len(backTargets)
+
+	if irCalls != bcCalls || irInd != bcInd || irMPI != bcMPI || irCompute != bcCompute || irLoops != bcLoops {
+		return fmt.Errorf("vm: lowering of %s disagrees with ir CFG: "+
+			"calls %d/%d, indirect %d/%d, mpi %d/%d, compute %d/%d, loops %d/%d (bytecode/ir)",
+			fn.Name, bcCalls, irCalls, bcInd, irInd, bcMPI, irMPI, bcCompute, irCompute, bcLoops, irLoops)
+	}
+	return nil
+}
+
+// reachableInstrs marks the bytecode instructions reachable from entry,
+// so dead code (statements after a return) is excluded from the
+// comparison exactly as ir's lowering drops it.
+func reachableInstrs(code *Code) []bool {
+	reach := make([]bool, len(code.instrs))
+	stack := []int32{0}
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for pc < int32(len(code.instrs)) && !reach[pc] {
+			reach[pc] = true
+			in := code.instrs[pc]
+			switch in.op {
+			case opJmp:
+				pc = in.a
+			case opJmpFalse, opJmpTrue:
+				stack = append(stack, in.b)
+				pc++
+			case opRet:
+				pc = int32(len(code.instrs))
+			default:
+				pc++
+			}
+		}
+	}
+	return reach
+}

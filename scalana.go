@@ -33,6 +33,7 @@ import (
 	"scalana/internal/prof"
 	"scalana/internal/psg"
 	"scalana/internal/trace"
+	"scalana/internal/vm"
 )
 
 // Tool is legacy sugar for selecting a bundled measurement tool. The run
@@ -140,6 +141,11 @@ type RunConfig struct {
 	Stdout io.Writer
 	// PSGOptions overrides contraction settings (zero value = defaults).
 	PSGOptions psg.Options
+	// Interp executes on the tree-walking interpreter instead of the
+	// bytecode VM. The two are behaviorally identical (the differential
+	// harness in internal/vm/difftest holds them to byte-identical
+	// reports); the interpreter survives as the oracle and escape hatch.
+	Interp bool
 }
 
 // resolveTool maps the config's tool selection to a registered name:
@@ -267,14 +273,17 @@ func RunCompiled(prog *minilang.Program, graph *psg.Graph, cfg RunConfig) (*RunO
 		wcfg.HookFactory = trun.HooksForRank
 	}
 
-	runner := interp.NewRunner(prog, graph)
-	runner.Stdout = cfg.Stdout
+	var observe interp.IndirectObserver
 	if obs, ok := trun.(IndirectObserver); ok {
-		runner.OnIndirect = obs.ObserveIndirect
+		observe = obs.ObserveIndirect
+	}
+	body, err := executionBody(prog, graph, cfg, observe)
+	if err != nil {
+		return nil, err
 	}
 
 	world := mpisim.NewWorld(wcfg)
-	res, err := world.Run(runner.Execute)
+	res, err := world.Run(body)
 	if err != nil {
 		return nil, fmt.Errorf("scalana: run %s np=%d: %w", cfg.App.Name, cfg.NP, err)
 	}
@@ -300,6 +309,30 @@ func RunCompiled(prog *minilang.Program, graph *psg.Graph, cfg RunConfig) (*RunO
 	}
 	out.Measurement = m
 	return out, nil
+}
+
+// executionBody selects the execution path for one run: the bytecode VM
+// by default, the tree-walking interpreter when cfg.Interp is set. The
+// VM's compiled program is cached on the graph (psg.Graph.CompileExec),
+// so the sweep-wide sharing the Engine arranges for graphs extends to
+// bytecode: compile once, execute at every scale.
+func executionBody(prog *minilang.Program, graph *psg.Graph, cfg RunConfig, observe interp.IndirectObserver) (func(*mpisim.Proc), error) {
+	if cfg.Interp {
+		runner := interp.NewRunner(prog, graph)
+		runner.Stdout = cfg.Stdout
+		runner.OnIndirect = observe
+		return runner.Execute, nil
+	}
+	cached, err := graph.CompileExec(func() (any, error) {
+		return vm.Compile(prog, graph)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scalana: compile bytecode for %s: %w", cfg.App.Name, err)
+	}
+	runner := vm.NewRunner(cached.(*vm.Program))
+	runner.Stdout = cfg.Stdout
+	runner.OnIndirect = observe
+	return runner.Execute, nil
 }
 
 // Sweep profiles the app with ScalAna at each scale in nps and returns the

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# bench-snapshot.sh — run the sweep and profiler benchmarks with -benchmem
+# and write a machine-readable JSON snapshot.
+#
+# Usage:
+#   scripts/bench-snapshot.sh OUT.json [vm|interp]
+#
+# The second argument selects the execution engine for program runs: the
+# bytecode VM (default) or the tree-walking interpreter (via the
+# SCALANA_BENCH_EXEC environment variable the benchmarks honor). The
+# committed snapshots pair the two modes:
+#
+#   scripts/bench-snapshot.sh BENCH_baseline.json interp
+#   scripts/bench-snapshot.sh BENCH_vm.json vm
+#
+# TestBenchBaselinesParse keeps both files loadable and holds the VM
+# snapshot to its speedup/allocation gates against the baseline.
+# BENCHTIME overrides the go test -benchtime value (default 1s).
+set -euo pipefail
+
+out=${1:?usage: bench-snapshot.sh OUT.json [vm|interp]}
+mode=${2:-vm}
+case "$mode" in
+vm) exec_env="" ;;
+interp) exec_env="interp" ;;
+*)
+	echo "bench-snapshot.sh: unknown mode \"$mode\" (want vm or interp)" >&2
+	exit 2
+	;;
+esac
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+SCALANA_BENCH_EXEC="$exec_env" go test -run '^$' -bench Sweep -benchmem \
+	-benchtime "${BENCHTIME:-1s}" . | tee "$tmp"
+SCALANA_BENCH_EXEC="$exec_env" go test -run '^$' -bench . -benchmem \
+	-benchtime "${BENCHTIME:-1s}" ./internal/prof | tee -a "$tmp"
+
+awk -v mode="$mode" -v goversion="$(go env GOVERSION)" \
+	-v created="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN {
+	printf "{\n \"created\": \"%s\",\n \"go\": \"%s\",\n \"exec\": \"%s\",\n \"benchmarks\": [", created, goversion, mode
+}
+/^Benchmark/ {
+	name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "B/op") bytes = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	if (n++) printf ","
+	printf "\n  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, iters, ns
+	if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	printf "}"
+}
+END { printf "\n ]\n}\n" }
+' "$tmp" >"$out"
+
+echo "snapshot written to $out"

@@ -2,6 +2,7 @@ package scalana_test
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"scalana/internal/detect"
@@ -9,6 +10,35 @@ import (
 
 	scalana "scalana"
 )
+
+// BenchmarkSweepNP64 is the benchmark the committed snapshots
+// (BENCH_baseline.json / BENCH_vm.json) are gated on: one zeusmp np=64
+// profiled run through the full sweep path. SCALANA_BENCH_EXEC=interp
+// pins execution to the tree-walking interpreter, so the same benchmark
+// name measures both engines and scripts/bench-snapshot.sh can snapshot
+// each mode. Compilation — PSG and bytecode alike — is warmed before the
+// timed loop: the numbers measure execution, not compile.
+func BenchmarkSweepNP64(b *testing.B) {
+	app := scalana.GetApp("zeusmp")
+	cfg := prof.DefaultConfig()
+	cfg.SampleHz = 2000
+	scfg := scalana.SweepConfig{
+		Parallelism: 1,
+		Prof:        cfg,
+		Interp:      os.Getenv("SCALANA_BENCH_EXEC") == "interp",
+	}
+	e := scalana.NewEngine()
+	if _, err := e.Sweep(app, []int{64}, scfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Sweep(app, []int{64}, scfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkSweepParallelism measures the sweep engine on the zeusmp
 // {8,16,32,64} sweep at increasing worker counts. The serial
@@ -19,13 +49,20 @@ func BenchmarkSweepParallelism(b *testing.B) {
 	nps := []int{8, 16, 32, 64}
 	cfg := prof.DefaultConfig()
 	cfg.SampleHz = 2000
+	// One engine for every variant and iteration: the app compiles once
+	// (PSG and bytecode land in shared caches), so the timed loop
+	// measures sweep execution rather than repeated compilation.
+	e := scalana.NewEngine()
+	if _, err := e.Sweep(app, nps, scalana.SweepConfig{Parallelism: 1, Prof: cfg}); err != nil {
+		b.Fatal(err)
+	}
 
 	var baseline string
 	for _, parallelism := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("parallel%d", parallelism), func(b *testing.B) {
 			var rep *detect.Report
 			for i := 0; i < b.N; i++ {
-				runs, err := scalana.SweepWithConfig(app, nps, scalana.SweepConfig{
+				runs, err := e.Sweep(app, nps, scalana.SweepConfig{
 					Parallelism: parallelism,
 					Prof:        cfg,
 				})
