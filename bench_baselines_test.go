@@ -2,10 +2,14 @@ package scalana_test
 
 // Guards for the committed benchmark snapshots (scripts/bench-snapshot.sh):
 // BENCH_baseline.json captures the tree-walking interpreter before the
-// bytecode VM landed, BENCH_vm.json the VM on the same benchmarks. The
-// test keeps both files loadable and enforces the VM's headline gates on
-// the zeusmp np=64 sweep benchmark: at least 2x faster with at least an
-// 80% allocation reduction.
+// bytecode VM landed, BENCH_vm.json the VM on the same benchmarks, and
+// BENCH_sched.json the VM under the cooperative run-to-block scheduler.
+// The test keeps the files loadable and enforces the headline gates on
+// the zeusmp np=64 sweep benchmark: the VM at least 2x faster than the
+// interpreter with at least an 80% allocation reduction, and the
+// scheduler at least another 2x over the pre-scheduler VM, with the
+// np=1024 scale present (the free-running core could not finish it
+// inside CI budgets).
 
 import (
 	"encoding/json"
@@ -15,9 +19,14 @@ import (
 )
 
 type benchSnapshot struct {
-	Created    string           `json:"created"`
-	Go         string           `json:"go"`
-	Exec       string           `json:"exec"`
+	Created string `json:"created"`
+	Go      string `json:"go"`
+	Exec    string `json:"exec"`
+	// GOMAXPROCS, CPUs, and GitSHA identify the machine state behind the
+	// numbers. Snapshots predating the fields decode them as zero values.
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	CPUs       int              `json:"cpus"`
+	GitSHA     string           `json:"git_sha"`
 	Benchmarks []benchSnapEntry `json:"benchmarks"`
 }
 
@@ -79,5 +88,23 @@ func TestBenchBaselinesParse(t *testing.T) {
 	if vNP64.AllocsPerOp > bNP64.AllocsPerOp/5 {
 		t.Errorf("np=64 sweep: VM %.0f allocs/op vs interpreter %.0f allocs/op — the committed snapshots no longer show the >=80%% allocation reduction",
 			vNP64.AllocsPerOp, bNP64.AllocsPerOp)
+	}
+
+	sched := loadSnapshot(t, "BENCH_sched.json", "sched")
+	sNP64 := findBench(t, sched, "BENCH_sched.json", "BenchmarkSweepNP64")
+	if sNP64.NsPerOp > vNP64.NsPerOp/2 {
+		t.Errorf("np=64 sweep: scheduler %.0f ns/op vs pre-scheduler VM %.0f ns/op — the committed snapshots no longer show the >=2x scheduler speedup",
+			sNP64.NsPerOp, vNP64.NsPerOp)
+	}
+	// The scheduler snapshot must carry the large scales: np=1024 finishing
+	// a benchtime run at all is the headline claim.
+	findBench(t, sched, "BENCH_sched.json", "BenchmarkSweepNP256")
+	findBench(t, sched, "BENCH_sched.json", "BenchmarkSweepNP1024")
+	// Snapshots written by the extended script identify their machine
+	// state; the older committed files predate the fields and may omit
+	// them, so only the sched snapshot is held to it.
+	if sched.GOMAXPROCS <= 0 || sched.CPUs <= 0 || sched.GitSHA == "" {
+		t.Errorf("BENCH_sched.json lacks machine identification (gomaxprocs=%d cpus=%d git_sha=%q)",
+			sched.GOMAXPROCS, sched.CPUs, sched.GitSHA)
 	}
 }

@@ -118,9 +118,13 @@ func (e *Engine) Run(cfg RunConfig) (*RunOutput, error) {
 // SweepConfig configures a multi-scale sweep.
 type SweepConfig struct {
 	// Parallelism bounds how many scales execute concurrently: 0 uses one
-	// worker per CPU, 1 runs the scales one at a time. It governs
-	// scale-level concurrency only — each run's per-rank finalization
-	// keeps its own CPU-bounded pool (see DESIGN.md §2). Results never
+	// worker per CPU, 1 runs the scales one at a time. It is the only
+	// concurrency knob over simulation: within a run the cooperative
+	// scheduler executes exactly one rank at a time (see DESIGN.md §11),
+	// so rank-level parallelism does not exist and adding workers only
+	// helps when the sweep has multiple scales to overlap. (Post-run
+	// finalization still fans per-rank conversion across a CPU-bounded
+	// pool, but that is not tunable and not simulation.) Results never
 	// depend on this value: each scale is its own deterministic simulated
 	// world, and runs are returned in nps order either way.
 	Parallelism int

@@ -168,6 +168,9 @@ func (c *Core) Overhead(n float64) (float64, Vec) {
 	var d Vec
 	d[TotIns] = n
 	d[TotCyc] = n / c.cfg.IPC
-	c.counters.Add(d)
+	// Only two counters move; skip the generic Vec.Add on this hot path
+	// (one Overhead per interpreted statement).
+	c.counters[TotIns] += d[TotIns]
+	c.counters[TotCyc] += d[TotCyc]
 	return d[TotCyc] / c.cfg.ClockHz, d
 }

@@ -3,11 +3,11 @@ package mpisim
 import "testing"
 
 // Steady-state allocation regression tests for the event arena work: the
-// per-rank event scratch, the sendInfo slab, request/claim-channel
-// pooling, and the collective slot freelist. All ops here run on the
-// test goroutine (sends are eager and post before their receives, so
-// nothing blocks), which keeps testing.AllocsPerRun meaningful on the
-// 1-CPU CI container.
+// per-rank event scratch, the sendInfo slab, request pooling, and the
+// collective slot freelist. All ops here run direct-drive on the test
+// goroutine (sends are eager and post before their receives, so nothing
+// blocks and the scheduler baton is never needed), which keeps
+// testing.AllocsPerRun meaningful on the 1-CPU CI container.
 
 func TestSteadyStateP2PAllocs(t *testing.T) {
 	w := NewWorld(Config{NP: 2, Seed: 1})
@@ -45,9 +45,36 @@ func TestSteadyStateWaitallAllocs(t *testing.T) {
 		round()
 	}
 	// Waitall must not copy the request order and must recycle every
-	// request and claim channel it completes.
+	// request it completes.
 	if allocs := testing.AllocsPerRun(100, round); allocs > 0.5 {
 		t.Errorf("steady-state waitall rounds average %.2f allocs/run, want ~0", allocs)
+	}
+}
+
+func TestSteadyStateP2PAllocsNP256(t *testing.T) {
+	// Same gate at np=256: per-channel state, the ready heap, and the
+	// request pools must not start allocating as the rank count grows.
+	// Every rank posts its ring send before any recv claims it, so the
+	// whole round stays direct-drive (nothing blocks).
+	const np = 256
+	w := NewWorld(Config{NP: np, Seed: 1})
+	round := func() {
+		for r := 0; r < np; r++ {
+			w.Proc(r).Send((r+1)%np, 3, 64)
+		}
+		for r := 0; r < np; r++ {
+			w.Proc(r).Recv((r+np-1)%np, 3, 64)
+		}
+	}
+	// Warm past the per-channel send/claim list capacity boundaries (70
+	// rounds puts every list on the 128-cap plateau, so the 20 measured
+	// rounds trigger no append growth). Each round carves exactly one
+	// sendSlabChunk (256 messages), which is the one allocation allowed.
+	for i := 0; i < 70; i++ {
+		round()
+	}
+	if allocs := testing.AllocsPerRun(20, round); allocs > 1.5 {
+		t.Errorf("steady-state np=256 ring rounds average %.2f allocs/run, want <= 1 (slab chunk amortization only)", allocs)
 	}
 }
 
@@ -63,11 +90,12 @@ func TestSteadyStateCollectiveAllocs(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		round()
 	}
-	// Slots and their arrivals recycle through the freelist; the one
-	// allocation left per collective is its fresh done channel (closed
-	// channels cannot be reused).
-	if allocs := testing.AllocsPerRun(100, round); allocs > 2.5 {
-		t.Errorf("steady-state collective rounds average %.2f allocs/run, want <= 2 (done channels only)", allocs)
+	// Slots, their arrivals, and their waiter lists recycle through the
+	// freelist. The old implementation allocated a fresh done channel per
+	// collective; run-to-block slots are plain counters, so steady state
+	// is allocation-free.
+	if allocs := testing.AllocsPerRun(100, round); allocs > 0 {
+		t.Errorf("steady-state collective rounds average %.2f allocs/run, want 0", allocs)
 	}
 }
 

@@ -3,8 +3,6 @@ package mpisim
 import (
 	"fmt"
 	"math"
-	"sync"
-	"time"
 )
 
 // Collective synchronization. All ranks must invoke collectives in the
@@ -12,6 +10,12 @@ import (
 // one slot. The last-arriving rank computes the completion time, and every
 // participant learns who the straggler was — the inter-process dependence
 // edge ScalAna's backtracking follows out of a slow collective.
+//
+// Under run-to-block scheduling a slot is a plain arrival counter: each
+// rank that arrives before the last parks on the slot, and the last
+// arriver computes the result and readies all of them. No mutex or
+// completion channel is needed — only the baton-holding rank ever
+// touches a slot.
 
 type arrival struct {
 	t   float64
@@ -24,8 +28,11 @@ type collSlot struct {
 	bytes    float64
 	arrivals []arrival
 	got      int
-	done     chan struct{}
+	// waiters are the ranks parked on this slot, readied by the last
+	// arriver.
+	waiters []int
 	// computed by the last arriver:
+	done     bool
 	tMax     float64
 	depRank  int
 	depCtx   any
@@ -35,12 +42,11 @@ type collSlot struct {
 
 type collectives struct {
 	w     *World
-	mu    sync.Mutex
 	slots map[int]*collSlot
 	// free recycles retired slots. A slot retires only after every rank
-	// has read its results (reads == np), so reuse cannot race readers;
-	// the arrivals slice is reused as-is because all np entries are
-	// rewritten before the last arriver inspects them.
+	// has read its results (reads == np), so reuse cannot confuse
+	// readers; the arrivals slice is reused as-is because all np entries
+	// are rewritten before the last arriver inspects them.
 	free []*collSlot
 }
 
@@ -48,20 +54,19 @@ func newCollectives(w *World) *collectives {
 	return &collectives{w: w, slots: map[int]*collSlot{}}
 }
 
-// newSlot allocates or recycles a slot. Caller holds c.mu.
+// newSlot allocates or recycles a slot.
 func (c *collectives) newSlot(op string, root int, bytes float64) *collSlot {
 	var slot *collSlot
 	if n := len(c.free); n > 0 {
 		slot = c.free[n-1]
 		c.free = c.free[:n-1]
-		arr := slot.arrivals
-		*slot = collSlot{arrivals: arr}
+		arr, wtr := slot.arrivals, slot.waiters[:0]
+		*slot = collSlot{arrivals: arr, waiters: wtr}
 	} else {
 		slot = &collSlot{arrivals: make([]arrival, c.w.np)}
 	}
 	slot.op, slot.root, slot.bytes = op, root, bytes
 	slot.depRank = -1
-	slot.done = make(chan struct{})
 	return slot
 }
 
@@ -101,18 +106,15 @@ func (p *Proc) collective(op string, root int, bytes float64) {
 	p.collSeq++
 
 	c := p.world.colls
-	c.mu.Lock()
 	slot := c.slots[seq]
 	if slot == nil {
 		slot = c.newSlot(op, root, bytes)
 		c.slots[seq] = slot
 	}
 	if slot.op != op {
-		c.mu.Unlock()
 		panic(fmt.Sprintf("mpisim: rank %d called %s where other ranks called %s (collective #%d mismatch)", p.Rank, op, slot.op, seq))
 	}
 	if slot.root != root {
-		c.mu.Unlock()
 		panic(fmt.Sprintf("mpisim: rank %d used root %d where other ranks used %d in %s", p.Rank, root, slot.root, op))
 	}
 	slot.arrivals[p.Rank] = arrival{t: p.Clock, ctx: p.Ctx}
@@ -126,22 +128,15 @@ func (p *Proc) collective(op string, root int, bytes float64) {
 			}
 		}
 		slot.complete = slot.tMax + p.world.collCost(op, bytes, p.world.np)
-		close(slot.done)
-	}
-	c.mu.Unlock()
-
-	select {
-	case <-slot.done:
-		// Fast path: the collective already completed; skip the timer
-		// select below, whose time.After allocates even when unused.
-	default:
-		select {
-		case <-slot.done:
-		case <-p.world.abort:
-			panic("mpisim: run aborted by failure on another rank")
-		case <-time.After(p.world.cfg.DeadlockTimeout):
-			panic(fmt.Sprintf("mpisim: rank %d deadlocked in %s #%d (%d/%d ranks arrived)", p.Rank, op, seq, slot.got, p.world.np))
+		slot.done = true
+		for _, r := range slot.waiters {
+			p.world.sched.wake(r)
 		}
+		slot.waiters = slot.waiters[:0]
+	} else {
+		slot.waiters = append(slot.waiters, p.Rank)
+		p.block = blockState{kind: blockColl, op: op, seq: seq}
+		p.world.sched.yieldBlocked(p)
 	}
 
 	myArrival := p.Clock
@@ -161,11 +156,9 @@ func (p *Proc) collective(op string, root int, bytes float64) {
 		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: depRank, DepCtx: depCtx,
 		Collective: true, Root: root})
 
-	c.mu.Lock()
 	slot.reads++
 	if slot.reads == p.world.np {
 		delete(c.slots, seq)
 		c.free = append(c.free, slot)
 	}
-	c.mu.Unlock()
 }

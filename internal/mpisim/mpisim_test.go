@@ -1,6 +1,7 @@
 package mpisim
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -344,6 +345,8 @@ func TestPanicOnOneRankAbortsRun(t *testing.T) {
 }
 
 func TestDeadlockDetection(t *testing.T) {
+	// DeadlockTimeout is a deprecated no-op: detection is exact and
+	// instant, so the test completes immediately regardless of the value.
 	w := NewWorld(Config{NP: 2, DeadlockTimeout: 200 * time.Millisecond})
 	_, err := w.Run(func(p *Proc) {
 		if p.Rank == 0 {
@@ -353,6 +356,75 @@ func TestDeadlockDetection(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "deadlock") {
 		t.Errorf("expected deadlock error, got %v", err)
 	}
+}
+
+func TestDeadlockDiagnosticNamesEveryBlockedRank(t *testing.T) {
+	// Two ranks in a recv cycle: each waits for a message the other never
+	// sends. The exact detector must fire the moment the ready heap
+	// drains and name both ranks with their pending operations.
+	start := time.Now()
+	w := NewWorld(Config{NP: 2})
+	_, err := w.Run(func(p *Proc) {
+		p.Recv(1-p.Rank, 7, 64)
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error, got nil")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"deadlock",
+		"2 rank(s) blocked forever",
+		"rank 0: blocked in recv from rank 1 tag 7",
+		"rank 1: blocked in recv from rank 0 tag 7",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("deadlock diagnostic missing %q:\n%s", want, msg)
+		}
+	}
+	// Exact detection replaces the old wall-clock timeout: the report must
+	// arrive without waiting anything like the deprecated 60s default.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadlock detection took %v, want immediate", elapsed)
+	}
+}
+
+func TestDeadlockDiagnosticCollective(t *testing.T) {
+	// Rank 1 joins the barrier; rank 0 blocks in a recv first, so the
+	// collective never completes. The report must show both block states.
+	w := NewWorld(Config{NP: 2})
+	_, err := w.Run(func(p *Proc) {
+		if p.Rank == 0 {
+			p.Recv(1, 3, 64) // rank 1 is already in the barrier
+		}
+		p.Barrier()
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error, got nil")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "rank 0: blocked in recv from rank 1 tag 3") {
+		t.Errorf("diagnostic missing rank 0 recv block:\n%s", msg)
+	}
+	if !strings.Contains(msg, "rank 1: blocked in mpi_barrier #0 (collective missing participants)") {
+		t.Errorf("diagnostic missing rank 1 collective block:\n%s", msg)
+	}
+}
+
+func TestDirectDriveBlockingPanics(t *testing.T) {
+	// Outside World.Run there is no scheduler and no peer to wake a
+	// blocked rank; a blocking operation must fail loudly instead of
+	// parking forever.
+	w := NewWorld(Config{NP: 2})
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("expected panic from blocking recv outside World.Run")
+		}
+		if msg := fmt.Sprint(rec); !strings.Contains(msg, "outside World.Run") {
+			t.Errorf("panic message %q does not explain the direct-drive restriction", msg)
+		}
+	}()
+	w.Proc(0).Recv(1, 0, 64) // no matching send posted: would block
 }
 
 func TestInvalidPeerFails(t *testing.T) {

@@ -2,15 +2,21 @@ package mpisim
 
 import (
 	"fmt"
-	"time"
 
 	"scalana/internal/machine"
 )
 
 // Point-to-point matching. Messages on one (src,dst,tag) channel match in
-// program order on both sides (sequence numbers), so matching is
-// deterministic regardless of real goroutine scheduling: completion times
-// are computed purely from virtual clocks.
+// program order on both sides (sequence numbers), so matching is a pure
+// function of the programs, and completion times are computed purely from
+// virtual clocks.
+//
+// Under run-to-block scheduling the matcher is a plain single-threaded
+// data structure: only the rank holding the scheduler baton touches it.
+// A receive whose send has not been posted records a waiter on the
+// channel and yields; the matching postSend later delivers the record
+// straight into the parked rank's wake slot and marks it ready. No
+// locks, waiter channels, or wall-clock timers are involved.
 //
 // Wildcard receives (mpi_recv_any) match the unconsumed send with the
 // earliest virtual arrival among all channels targeting (dst,tag). Mixing
@@ -30,18 +36,23 @@ type sendInfo struct {
 
 type channel struct {
 	sends       []*sendInfo
-	recvClaims  int                    // sequence numbers claimed by specific receives
-	hasSpecific bool                   // a specific receive has used this channel
-	waiters     map[int]chan *sendInfo // specific waiters by sequence
+	recvClaims  int  // sequence numbers claimed by specific receives
+	hasSpecific bool // a specific receive has used this channel
+	// waiter is the rank parked until the send with sequence number
+	// waiterSeq is posted (-1 when none). At most one rank can wait per
+	// channel: only the destination rank receives on it, and a rank
+	// blocks in one operation at a time.
+	waiter    int
+	waiterSeq int
 }
 
 type anyKey struct{ dst, tag int }
 
 type matcher struct {
-	w          *World
-	mu         chan struct{} // 1-buffered channel used as a mutex with abort support
-	chans      map[p2pKey]*channel
-	anyWaiters map[anyKey][]chan *sendInfo
+	w     *World
+	chans map[p2pKey]*channel
+	// anyWaiter maps (dst,tag) to the rank parked in a wildcard receive.
+	anyWaiter map[anyKey]int
 	// slab is the current sendInfo allocation chunk. Records live for the
 	// whole run (channels keep them for matching), so the slab only grows;
 	// chunks are never appended past capacity, keeping pointers stable.
@@ -50,7 +61,7 @@ type matcher struct {
 
 const sendSlabChunk = 256
 
-// newSendInfo carves one record out of the slab. Caller holds m.mu.
+// newSendInfo carves one record out of the slab.
 func (m *matcher) newSendInfo() *sendInfo {
 	if len(m.slab) == cap(m.slab) {
 		m.slab = make([]sendInfo, 0, sendSlabChunk)
@@ -60,59 +71,51 @@ func (m *matcher) newSendInfo() *sendInfo {
 }
 
 func newMatcher(w *World) *matcher {
-	m := &matcher{
-		w:          w,
-		mu:         make(chan struct{}, 1),
-		chans:      map[p2pKey]*channel{},
-		anyWaiters: map[anyKey][]chan *sendInfo{},
+	return &matcher{
+		w:         w,
+		chans:     map[p2pKey]*channel{},
+		anyWaiter: map[anyKey]int{},
 	}
-	m.mu <- struct{}{}
-	return m
 }
-
-func (m *matcher) lock()   { <-m.mu }
-func (m *matcher) unlock() { m.mu <- struct{}{} }
 
 func (m *matcher) chanFor(k p2pKey) *channel {
 	ch := m.chans[k]
 	if ch == nil {
-		ch = &channel{waiters: map[int]chan *sendInfo{}}
+		ch = &channel{waiter: -1}
 		m.chans[k] = ch
 	}
 	return ch
 }
 
-// postSend registers a message from src to dst and wakes a matching waiter.
+// postSend registers a message from src to dst and readies a matching
+// parked receiver, if any.
 func (m *matcher) postSend(src, dst, tag int, bytes, tArrive float64, ctx any) {
-	m.lock()
 	k := p2pKey{src, dst, tag}
 	ch := m.chanFor(k)
 	info := m.newSendInfo()
 	*info = sendInfo{from: src, seq: len(ch.sends), bytes: bytes, tArrive: tArrive, ctx: ctx}
 	ch.sends = append(ch.sends, info)
-	if wtr, ok := ch.waiters[info.seq]; ok {
-		delete(ch.waiters, info.seq)
+	if ch.waiter >= 0 && ch.waiterSeq == info.seq {
+		r := ch.waiter
+		ch.waiter = -1
 		info.matched = true
-		m.unlock()
-		wtr <- info
+		m.w.procs[r].wakeInfo = info
+		m.w.sched.wake(r)
 		return
 	}
 	ak := anyKey{dst, tag}
-	if ws := m.anyWaiters[ak]; len(ws) > 0 && !ch.hasSpecific {
-		wtr := ws[0]
-		m.anyWaiters[ak] = ws[1:]
+	if r, ok := m.anyWaiter[ak]; ok && !ch.hasSpecific {
+		delete(m.anyWaiter, ak)
 		info.matched = true
-		m.unlock()
-		wtr <- info
-		return
+		m.w.procs[r].wakeInfo = info
+		m.w.sched.wake(r)
 	}
-	m.unlock()
 }
 
-// claimRecv obtains the matching send for the next specific receive posted
-// by dst on (src,tag); it blocks (in real time) until the send is posted.
+// claimRecv obtains the matching send for the next specific receive
+// posted by dst on (src,tag); if the send has not been posted yet the
+// rank parks until it is.
 func (m *matcher) claimRecv(p *Proc, src, dst, tag int) *sendInfo {
-	m.lock()
 	k := p2pKey{src, dst, tag}
 	ch := m.chanFor(k)
 	ch.hasSpecific = true
@@ -121,24 +124,22 @@ func (m *matcher) claimRecv(p *Proc, src, dst, tag int) *sendInfo {
 	if seq < len(ch.sends) {
 		info := ch.sends[seq]
 		if info.matched {
-			m.unlock()
 			panic(fmt.Sprintf("mpisim: send %d->%d tag %d seq %d already consumed by a wildcard receive (mixed wildcard/specific matching is not supported)", src, dst, tag, seq))
 		}
 		info.matched = true
-		m.unlock()
 		return info
 	}
-	wtr := p.claimChan()
-	ch.waiters[seq] = wtr
-	m.unlock()
-	info := m.await(p, wtr, fmt.Sprintf("recv from %d tag %d", src, tag))
-	p.freeClaims = append(p.freeClaims, wtr)
-	return info
+	ch.waiter = p.Rank
+	ch.waiterSeq = seq
+	p.block = blockState{kind: blockRecv, src: src, tag: tag, seq: seq}
+	m.w.sched.yieldBlocked(p)
+	return p.takeWake()
 }
 
-// claimRecvAny matches the next wildcard receive on (dst,tag).
+// claimRecvAny matches the next wildcard receive on (dst,tag): the
+// unconsumed send with the earliest virtual arrival, or — when none is
+// posted — the first send a peer posts for (dst,tag).
 func (m *matcher) claimRecvAny(p *Proc, dst, tag int) *sendInfo {
-	m.lock()
 	var best *sendInfo
 	for k, ch := range m.chans {
 		if k.dst != dst || k.tag != tag || ch.hasSpecific {
@@ -156,34 +157,12 @@ func (m *matcher) claimRecvAny(p *Proc, dst, tag int) *sendInfo {
 	}
 	if best != nil {
 		best.matched = true
-		m.unlock()
 		return best
 	}
-	ak := anyKey{dst, tag}
-	wtr := p.claimChan()
-	m.anyWaiters[ak] = append(m.anyWaiters[ak], wtr)
-	m.unlock()
-	info := m.await(p, wtr, fmt.Sprintf("recv from any tag %d", tag))
-	p.freeClaims = append(p.freeClaims, wtr)
-	return info
-}
-
-func (m *matcher) await(p *Proc, wtr chan *sendInfo, what string) *sendInfo {
-	select {
-	case info := <-wtr:
-		// Fast path: matched between registration and here; skip the
-		// allocating timer select.
-		return info
-	default:
-	}
-	select {
-	case info := <-wtr:
-		return info
-	case <-m.w.abort:
-		panic("mpisim: run aborted by failure on another rank")
-	case <-time.After(m.w.cfg.DeadlockTimeout):
-		panic(fmt.Sprintf("mpisim: rank %d deadlocked in %s (no matching send after %v)", p.Rank, what, m.w.cfg.DeadlockTimeout))
-	}
+	m.anyWaiter[anyKey{dst, tag}] = p.Rank
+	p.block = blockState{kind: blockRecvAny, tag: tag}
+	m.w.sched.yieldBlocked(p)
+	return p.takeWake()
 }
 
 // Request is a non-blocking communication handle.
@@ -193,9 +172,9 @@ type Request struct {
 	src    int // AnySource for wildcard receives
 	tag    int
 	bytes  float64
-	// For receives matched at post time (specific source), info arrives
-	// through claim; wildcard receives resolve at wait time.
-	claim   chan *sendInfo
+	// seq is the matching sequence number claimed at post time for
+	// specific receives; wildcard receives resolve at wait time.
+	seq     int
 	claimed *sendInfo
 	postCtx any
 }
@@ -265,7 +244,7 @@ func (p *Proc) Irecv(src, tag int, bytes float64) *Request {
 	t0 := p.Clock
 	p.mpiOverhead()
 	req := p.newRequest(false, src, tag, bytes)
-	req.claim = p.claimAsync(src, tag)
+	req.seq = p.claimSeq(src, tag)
 	p.emit(Event{Kind: EvIrecv, Op: "mpi_irecv", Peer: src, Tag: tag, Bytes: bytes, TStart: t0, TEnd: p.Clock, DepRank: -1, Root: -1, ReqID: req.id})
 	return req
 }
@@ -280,38 +259,14 @@ func (p *Proc) IrecvAny(tag int, bytes float64) *Request {
 	return req
 }
 
-// claimAsync claims the next sequence number for (src -> p.Rank, tag) and
-// returns a channel that will deliver the matching send.
-func (p *Proc) claimAsync(src, tag int) chan *sendInfo {
-	out := p.claimChan()
-	m := p.world.matcher
-	m.lock()
-	k := p2pKey{src, p.Rank, tag}
-	ch := m.chanFor(k)
+// claimSeq claims the next matching sequence number for (src -> p.Rank,
+// tag); the send is looked up (or waited for) when the request resolves.
+func (p *Proc) claimSeq(src, tag int) int {
+	ch := p.world.matcher.chanFor(p2pKey{src, p.Rank, tag})
 	ch.hasSpecific = true
 	seq := ch.recvClaims
 	ch.recvClaims++
-	if seq < len(ch.sends) {
-		info := ch.sends[seq]
-		info.matched = true
-		out <- info
-		m.unlock()
-		return out
-	}
-	ch.waiters[seq] = out
-	m.unlock()
-	return out
-}
-
-// claimChan returns a 1-buffered delivery channel, reusing a drained one
-// from the rank's pool when available.
-func (p *Proc) claimChan() chan *sendInfo {
-	if n := len(p.freeClaims); n > 0 {
-		ch := p.freeClaims[n-1]
-		p.freeClaims = p.freeClaims[:n-1]
-		return ch
-	}
-	return make(chan *sendInfo, 1)
+	return seq
 }
 
 func (p *Proc) newRequest(isSend bool, src, tag int, bytes float64) *Request {
@@ -326,28 +281,23 @@ func (p *Proc) newRequest(isSend bool, src, tag int, bytes float64) *Request {
 	r.isSend, r.src, r.tag, r.bytes, r.postCtx = isSend, src, tag, bytes, p.Ctx
 	p.nextReq++
 	r.id = p.nextReq
-	p.reqs[r.id] = r
-	p.reqOrder = append(p.reqOrder, r.id)
+	p.reqs = append(p.reqs, r)
 	return r
 }
 
-// recycleRequest returns a completed request (already removed from
-// p.reqs) to the rank's pool, along with its claim channel when the
-// claim has been consumed (a consumed claim channel is empty and no
-// longer registered with the matcher).
-func (p *Proc) recycleRequest(r *Request) {
-	if r.claim != nil && r.claimed != nil {
-		p.freeClaims = append(p.freeClaims, r.claim)
-	}
-	p.freeReqs = append(p.freeReqs, r)
-}
-
-// FindRequest resolves an application-level request handle.
+// FindRequest resolves an application-level request handle. Outstanding
+// requests are few, so a linear scan beats a map here.
 func (p *Proc) FindRequest(id int) *Request {
-	return p.reqs[id]
+	for _, r := range p.reqs {
+		if r.id == id {
+			return r
+		}
+	}
+	return nil
 }
 
-// resolve obtains the matched sendInfo for a receive request.
+// resolve obtains the matched sendInfo for a receive request, parking
+// the rank if the matching send has not been posted yet.
 func (p *Proc) resolve(r *Request) *sendInfo {
 	if r.claimed != nil {
 		return r.claimed
@@ -359,35 +309,34 @@ func (p *Proc) resolve(r *Request) *sendInfo {
 		r.claimed = p.world.matcher.claimRecvAny(p, p.Rank, r.tag)
 		return r.claimed
 	}
-	select {
-	case info := <-r.claim:
-		// Fast path: the matching send is already buffered; skip the
-		// timer select below, whose time.After allocates even when unused.
-		r.claimed = info
-	default:
-		select {
-		case info := <-r.claim:
-			r.claimed = info
-		case <-p.world.abort:
-			panic("mpisim: run aborted by failure on another rank")
-		case <-time.After(p.world.cfg.DeadlockTimeout):
-			panic(fmt.Sprintf("mpisim: rank %d deadlocked waiting for irecv from %d tag %d", p.Rank, r.src, r.tag))
+	m := p.world.matcher
+	ch := m.chanFor(p2pKey{r.src, p.Rank, r.tag})
+	if r.seq < len(ch.sends) {
+		info := ch.sends[r.seq]
+		if info.matched {
+			panic(fmt.Sprintf("mpisim: send %d->%d tag %d seq %d already consumed by a wildcard receive (mixed wildcard/specific matching is not supported)", r.src, p.Rank, r.tag, r.seq))
 		}
+		info.matched = true
+		r.claimed = info
+		return info
 	}
+	ch.waiter = p.Rank
+	ch.waiterSeq = r.seq
+	p.block = blockState{kind: blockRecv, src: r.src, tag: r.tag, seq: r.seq}
+	p.world.sched.yieldBlocked(p)
+	r.claimed = p.takeWake()
 	return r.claimed
 }
 
+// dropRequest removes a completed request from the outstanding list and
+// recycles the handle.
 func (p *Proc) dropRequest(id int) {
-	r := p.reqs[id]
-	delete(p.reqs, id)
-	for i, x := range p.reqOrder {
-		if x == id {
-			p.reqOrder = append(p.reqOrder[:i], p.reqOrder[i+1:]...)
-			break
+	for i, r := range p.reqs {
+		if r.id == id {
+			p.reqs = append(p.reqs[:i], p.reqs[i+1:]...)
+			p.freeReqs = append(p.freeReqs, r)
+			return
 		}
-	}
-	if r != nil {
-		p.recycleRequest(r)
 	}
 }
 
@@ -395,7 +344,7 @@ func (p *Proc) dropRequest(id int) {
 // dependence of a non-blocking receive is recorded here, where source and
 // tag become certain).
 func (p *Proc) Wait(id int) {
-	r := p.reqs[id]
+	r := p.FindRequest(id)
 	if r == nil {
 		panic(fmt.Sprintf("mpisim: rank %d: mpi_wait on unknown request %d", p.Rank, id))
 	}
@@ -410,8 +359,9 @@ func (p *Proc) Wait(id int) {
 	info := p.resolve(r)
 	wait := p.waitUntil(info.tArrive)
 	p.advance(info.bytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)
+	tag := r.tag
 	p.dropRequest(id)
-	p.emit(Event{Kind: EvWait, Op: "mpi_wait", Peer: info.from, Tag: r.tag, Bytes: info.bytes,
+	p.emit(Event{Kind: EvWait, Op: "mpi_wait", Peer: info.from, Tag: tag, Bytes: info.bytes,
 		TStart: t0, TEnd: p.Clock, Wait: wait, DepRank: info.from, DepCtx: info.ctx, Root: -1, Requests: 1, ReqID: id})
 }
 
@@ -426,14 +376,10 @@ func (p *Proc) Waitall() {
 	var depCtx any
 	var totalBytes float64
 	n, nRecv := 0, 0
-	// Completing everything lets the loop walk reqOrder in place (only the
-	// rank's own goroutine mutates it) and release the slice wholesale
-	// afterwards instead of splicing per request.
-	for _, id := range p.reqOrder {
-		r := p.reqs[id]
-		if r == nil {
-			continue
-		}
+	// Completing everything lets the loop walk the outstanding list in
+	// order and release it wholesale afterwards instead of splicing per
+	// request.
+	for _, r := range p.reqs {
 		n++
 		if !r.isSend {
 			nRecv++
@@ -445,10 +391,9 @@ func (p *Proc) Waitall() {
 				depCtx = info.ctx
 			}
 		}
-		delete(p.reqs, id)
-		p.recycleRequest(r)
+		p.freeReqs = append(p.freeReqs, r)
 	}
-	p.reqOrder = p.reqOrder[:0]
+	p.reqs = p.reqs[:0]
 	wait := p.waitUntil(lastArrive)
 	if totalBytes > 0 {
 		p.advance(totalBytes*p.world.cfg.Net.PerByte, AdvTransfer, zeroVec)

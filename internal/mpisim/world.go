@@ -36,8 +36,10 @@ type Config struct {
 	Seed int64
 	// HookFactory creates per-rank tool hooks; nil means no tools.
 	HookFactory func(rank int) []Hook
-	// DeadlockTimeout aborts the run if a blocking operation stalls in
-	// real time (defaults to 60s).
+	// DeadlockTimeout is deprecated and ignored. The cooperative
+	// scheduler detects deadlocks exactly: the instant no rank can make
+	// progress, the run fails with a per-rank diagnostic naming each
+	// blocked operation. The field survives so existing callers compile.
 	DeadlockTimeout time.Duration
 }
 
@@ -48,8 +50,8 @@ type World struct {
 	procs   []*Proc
 	matcher *matcher
 	colls   *collectives
-	abort   chan struct{}
-	abortMu sync.Mutex
+	sched   *scheduler
+	failMu  sync.Mutex
 	abErr   error
 }
 
@@ -66,14 +68,11 @@ func NewWorld(cfg Config) *World {
 		cfg.Core = machine.DefaultConfig()
 		cfg.Core.MemSpeed = mem
 	}
-	if cfg.DeadlockTimeout == 0 {
-		cfg.DeadlockTimeout = 60 * time.Second
-	}
 	w := &World{
-		cfg:   cfg,
-		np:    cfg.NP,
-		abort: make(chan struct{}),
+		cfg: cfg,
+		np:  cfg.NP,
 	}
+	w.sched = newScheduler(w)
 	w.matcher = newMatcher(w)
 	w.colls = newCollectives(w)
 	w.procs = make([]*Proc, cfg.NP)
@@ -82,9 +81,8 @@ func NewWorld(cfg Config) *World {
 			world: w,
 			Rank:  r,
 			Core:  machine.NewCore(cfg.Core, r),
-			rng:   rand.New(rand.NewSource(cfg.Seed*7919 + int64(r) + 1)),
-			reqs:  map[int]*Request{},
 		}
+		p.cond.L = &w.sched.mu
 		if cfg.HookFactory != nil {
 			p.rawHooks = cfg.HookFactory(r)
 		}
@@ -109,10 +107,15 @@ type RunResult struct {
 	PerturbTotal float64
 }
 
-// Run executes body once per rank, each in its own goroutine, and waits
-// for completion. A panic in any rank aborts the whole job and is returned
-// as an error.
+// Run executes body once per rank under the cooperative virtual-time
+// scheduler: each rank gets a goroutine for its stack, but exactly one
+// rank runs at a time, and control passes at blocking points to the
+// ready rank with the smallest virtual clock. A panic in any rank aborts
+// the whole job and is returned as an error; a deadlock (no rank can
+// make progress) fails the run immediately with a per-rank diagnostic.
 func (w *World) Run(body func(p *Proc)) (RunResult, error) {
+	s := w.sched
+	s.begin()
 	var wg sync.WaitGroup
 	wg.Add(w.np)
 	for r := 0; r < w.np; r++ {
@@ -122,15 +125,19 @@ func (w *World) Run(body func(p *Proc)) (RunResult, error) {
 			defer func() {
 				if rec := recover(); rec != nil {
 					w.fail(fmt.Errorf("rank %d: %v", p.Rank, rec))
+					s.abortAll()
 				}
+				s.exit(p)
 			}()
+			s.acquire(p)
 			body(p)
 		}()
 	}
 	wg.Wait()
-	w.abortMu.Lock()
+	s.end()
+	w.failMu.Lock()
 	err := w.abErr
-	w.abortMu.Unlock()
+	w.failMu.Unlock()
 	res := RunResult{Clocks: make([]float64, w.np)}
 	for r, p := range w.procs {
 		res.Clocks[r] = p.Clock
@@ -146,22 +153,11 @@ func (w *World) Run(body func(p *Proc)) (RunResult, error) {
 }
 
 func (w *World) fail(err error) {
-	w.abortMu.Lock()
+	w.failMu.Lock()
 	if w.abErr == nil {
 		w.abErr = err
-		close(w.abort)
 	}
-	w.abortMu.Unlock()
-}
-
-// aborted panics if the world failed; blocking operations call it after
-// waking so that sibling ranks unwind instead of deadlocking.
-func (w *World) aborted() {
-	select {
-	case <-w.abort:
-		panic("mpisim: run aborted by failure on another rank")
-	default:
-	}
+	w.failMu.Unlock()
 }
 
 // Proc is the per-rank execution state: the virtual clock, the PMU core,
@@ -180,21 +176,29 @@ type Proc struct {
 	PerturbTotal float64
 
 	rawHooks []Hook
-	rng      *rand.Rand
-	reqs     map[int]*Request
-	reqOrder []int
-	nextReq  int
-	collSeq  int
+	// rng is seeded lazily on the first Rand call: most workloads never
+	// draw randomness, and seeding math/rand's source per rank is
+	// expensive enough to show up in np=1024 sweeps.
+	rng     *rand.Rand
+	reqs    []*Request
+	nextReq int
+	collSeq int
+
+	// cond parks the rank's goroutine while another rank holds the
+	// scheduler baton; block describes the operation it is blocked in
+	// (exact deadlock diagnostics print it) and wakeInfo carries the
+	// matched send delivered by the waker.
+	cond     sync.Cond
+	block    blockState
+	wakeInfo *sendInfo
 
 	// evScratch stages events for emit: hooks receive a pointer into it,
 	// valid only for the duration of the callback, so steady-state
 	// simulation emits events without allocating.
 	evScratch Event
-	// freeReqs and freeClaims recycle completed request handles and their
-	// drained claim channels. Both are touched only by the rank's own
-	// goroutine.
-	freeReqs   []*Request
-	freeClaims []chan *sendInfo
+	// freeReqs recycles completed request handles. Touched only while
+	// the rank holds the scheduler baton.
+	freeReqs []*Request
 }
 
 // NP returns the job size.
@@ -204,7 +208,12 @@ func (p *Proc) NP() int { return p.world.np }
 func (p *Proc) World() *World { return p.world }
 
 // Rand returns a deterministic per-rank pseudo-random float64 in [0,1).
-func (p *Proc) Rand() float64 { return p.rng.Float64() }
+func (p *Proc) Rand() float64 {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.world.cfg.Seed*7919 + int64(p.Rank) + 1))
+	}
+	return p.rng.Float64()
+}
 
 // Hooks returns the rank's tool hooks.
 func (p *Proc) Hooks() []Hook { return p.rawHooks }
@@ -284,6 +293,14 @@ func (p *Proc) waitUntil(t float64) float64 {
 	w := t - p.Clock
 	p.advance(w, AdvWait, machine.Vec{})
 	return w
+}
+
+// takeWake consumes the matched send a waker delivered before resuming
+// this rank.
+func (p *Proc) takeWake() *sendInfo {
+	info := p.wakeInfo
+	p.wakeInfo = nil
+	return info
 }
 
 func ceilLog2(n int) float64 {

@@ -199,7 +199,12 @@ type Profiler struct {
 	graph   *psg.Graph
 	profile *RankProfile
 
-	period     float64
+	period float64
+	// lastBucket caches int64(to/period) from the previous Advance call.
+	// Advances on a rank are contiguous (each from equals the prior to,
+	// starting at virtual time zero), so the cached value equals
+	// int64(from/period) exactly and saves one division per advance.
+	lastBucket int64
 	pendingPMU machine.Vec
 	rng        *rand.Rand
 
@@ -223,9 +228,19 @@ func New(cfg Config, graph *psg.Graph, rank, np int) *Profiler {
 		graph:            graph,
 		profile:          NewRankProfile(graph, rank, np),
 		period:           1 / cfg.SampleHz,
-		rng:              rand.New(rand.NewSource(cfg.Seed*31 + int64(rank)*2654435761 + 17)),
 		requestConverter: map[int]srcTag{},
 	}
+}
+
+// sampleRand lazily seeds the instrumentation-sampling RNG on first draw.
+// The stream is identical to eager seeding in New, but the default
+// CommSampleProb of 1 never draws, and math/rand source initialization is
+// costly enough to matter across 1024 ranks.
+func (pr *Profiler) sampleRand() float64 {
+	if pr.rng == nil {
+		pr.rng = rand.New(rand.NewSource(pr.cfg.Seed*31 + int64(pr.profile.Rank)*2654435761 + 17))
+	}
+	return pr.rng.Float64()
 }
 
 // Profile returns the collected rank profile.
@@ -257,7 +272,9 @@ func ctxVID(ctx any) psg.VID {
 // the same attribution PAPI overflow sampling performs via the call stack.
 func (pr *Profiler) Advance(p *mpisim.Proc, from, to float64, kind mpisim.AdvanceKind, ctx any, pmu machine.Vec) float64 {
 	pr.pendingPMU.Add(pmu)
-	crossings := int64(to/pr.period) - int64(from/pr.period)
+	bucket := int64(to / pr.period)
+	crossings := bucket - pr.lastBucket
+	pr.lastBucket = bucket
 	if crossings <= 0 {
 		return 0
 	}
@@ -298,7 +315,7 @@ func (pr *Profiler) MPIEvent(p *mpisim.Proc, ev *mpisim.Event) float64 {
 
 	// Random sampling-based instrumentation (paper §III-B2): record the
 	// parameters of this operation with probability CommSampleProb.
-	if pr.cfg.CommSampleProb < 1 && pr.rng.Float64() >= pr.cfg.CommSampleProb {
+	if pr.cfg.CommSampleProb < 1 && pr.sampleRand() >= pr.cfg.CommSampleProb {
 		return 0
 	}
 	pr.profile.EventsSampled++

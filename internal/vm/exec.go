@@ -71,9 +71,18 @@ func init() {
 // messages included.
 func num(v Value, pos minilang.Pos, what string) float64 {
 	if !v.IsNum() {
-		panic(fmt.Sprintf("%s: %s must be a number, got %s", pos, what, v))
+		badNum(v, pos, what)
 	}
 	return v.Num
+}
+
+// badNum is outlined from num so that num stays within the inlining
+// budget: the fmt.Sprintf kept num (≈a quarter of sweep CPU) from
+// inlining into every arithmetic opcode.
+//
+//go:noinline
+func badNum(v Value, pos minilang.Pos, what string) {
+	panic(fmt.Sprintf("%s: %s must be a number, got %s", pos, what, v))
 }
 
 func truthy(v Value, pos minilang.Pos) bool {

@@ -1,0 +1,42 @@
+package scalana_test
+
+import (
+	"testing"
+	"time"
+
+	"scalana/internal/prof"
+
+	scalana "scalana"
+)
+
+// TestSweepNP1024WithinBudget is the CI smoke for the headline scheduler
+// claim: a full profiled np=1024 zeusmp sweep completes inside a CI-sized
+// wall-clock budget. Under the old free-running goroutine core this scale
+// thrashed the 1-CPU runner; run-to-block scheduling makes it an ordinary
+// sub-second simulation (the budget leaves ~100x headroom for a cold,
+// loaded runner).
+func TestSweepNP1024WithinBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("np=1024 smoke skipped in -short mode")
+	}
+	const budget = 60 * time.Second
+	cfg := prof.DefaultConfig()
+	cfg.SampleHz = 2000
+	e := scalana.NewEngine()
+	start := time.Now()
+	runs, err := e.Sweep(scalana.GetApp("zeusmp"), []int{1024}, scalana.SweepConfig{
+		Parallelism: 1,
+		Prof:        cfg,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].NP != 1024 {
+		t.Fatalf("sweep returned %d runs, want one np=1024 run", len(runs))
+	}
+	if elapsed > budget {
+		t.Errorf("np=1024 sweep took %v, want under %v", elapsed, budget)
+	}
+	t.Logf("np=1024 sweep completed in %v", elapsed)
+}

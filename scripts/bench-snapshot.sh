@@ -3,28 +3,33 @@
 # and write a machine-readable JSON snapshot.
 #
 # Usage:
-#   scripts/bench-snapshot.sh OUT.json [vm|interp]
+#   scripts/bench-snapshot.sh OUT.json [vm|interp|sched]
 #
 # The second argument selects the execution engine for program runs: the
 # bytecode VM (default) or the tree-walking interpreter (via the
 # SCALANA_BENCH_EXEC environment variable the benchmarks honor). The
-# committed snapshots pair the two modes:
+# sched mode is the VM engine under the cooperative run-to-block
+# scheduler — the label distinguishes post-scheduler snapshots from the
+# pre-scheduler BENCH_vm.json numbers. The committed snapshots pair the
+# modes:
 #
 #   scripts/bench-snapshot.sh BENCH_baseline.json interp
 #   scripts/bench-snapshot.sh BENCH_vm.json vm
+#   scripts/bench-snapshot.sh BENCH_sched.json sched
 #
-# TestBenchBaselinesParse keeps both files loadable and holds the VM
-# snapshot to its speedup/allocation gates against the baseline.
+# TestBenchBaselinesParse keeps the files loadable, holds the VM snapshot
+# to its speedup/allocation gates against the baseline, and holds the
+# scheduler snapshot to >= 2x over BENCH_vm.json on BenchmarkSweepNP64.
 # BENCHTIME overrides the go test -benchtime value (default 1s).
 set -euo pipefail
 
-out=${1:?usage: bench-snapshot.sh OUT.json [vm|interp]}
+out=${1:?usage: bench-snapshot.sh OUT.json [vm|interp|sched]}
 mode=${2:-vm}
 case "$mode" in
-vm) exec_env="" ;;
+vm | sched) exec_env="" ;;
 interp) exec_env="interp" ;;
 *)
-	echo "bench-snapshot.sh: unknown mode \"$mode\" (want vm or interp)" >&2
+	echo "bench-snapshot.sh: unknown mode \"$mode\" (want vm, interp, or sched)" >&2
 	exit 2
 	;;
 esac
@@ -39,9 +44,12 @@ SCALANA_BENCH_EXEC="$exec_env" go test -run '^$' -bench . -benchmem \
 	-benchtime "${BENCHTIME:-1s}" ./internal/prof | tee -a "$tmp"
 
 awk -v mode="$mode" -v goversion="$(go env GOVERSION)" \
-	-v created="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+	-v created="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v gomaxprocs="${GOMAXPROCS:-$(nproc)}" \
+	-v cpus="$(nproc)" \
+	-v gitsha="$(git rev-parse HEAD 2>/dev/null || echo unknown)" '
 BEGIN {
-	printf "{\n \"created\": \"%s\",\n \"go\": \"%s\",\n \"exec\": \"%s\",\n \"benchmarks\": [", created, goversion, mode
+	printf "{\n \"created\": \"%s\",\n \"go\": \"%s\",\n \"exec\": \"%s\",\n \"gomaxprocs\": %s,\n \"cpus\": %s,\n \"git_sha\": \"%s\",\n \"benchmarks\": [", created, goversion, mode, gomaxprocs, cpus, gitsha
 }
 /^Benchmark/ {
 	name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""

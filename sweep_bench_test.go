@@ -11,14 +11,13 @@ import (
 	scalana "scalana"
 )
 
-// BenchmarkSweepNP64 is the benchmark the committed snapshots
-// (BENCH_baseline.json / BENCH_vm.json) are gated on: one zeusmp np=64
-// profiled run through the full sweep path. SCALANA_BENCH_EXEC=interp
-// pins execution to the tree-walking interpreter, so the same benchmark
-// name measures both engines and scripts/bench-snapshot.sh can snapshot
-// each mode. Compilation — PSG and bytecode alike — is warmed before the
-// timed loop: the numbers measure execution, not compile.
-func BenchmarkSweepNP64(b *testing.B) {
+// benchmarkSweepNP runs one zeusmp profiled sweep at the given scale
+// through the full sweep path. SCALANA_BENCH_EXEC=interp pins execution
+// to the tree-walking interpreter, so the same benchmark names measure
+// both engines and scripts/bench-snapshot.sh can snapshot each mode.
+// Compilation — PSG and bytecode alike — is warmed before the timed
+// loop: the numbers measure execution, not compile.
+func benchmarkSweepNP(b *testing.B, np int) {
 	app := scalana.GetApp("zeusmp")
 	cfg := prof.DefaultConfig()
 	cfg.SampleHz = 2000
@@ -28,17 +27,30 @@ func BenchmarkSweepNP64(b *testing.B) {
 		Interp:      os.Getenv("SCALANA_BENCH_EXEC") == "interp",
 	}
 	e := scalana.NewEngine()
-	if _, err := e.Sweep(app, []int{64}, scfg); err != nil {
+	if _, err := e.Sweep(app, []int{np}, scfg); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Sweep(app, []int{64}, scfg); err != nil {
+		if _, err := e.Sweep(app, []int{np}, scfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// BenchmarkSweepNP64 is the benchmark the committed snapshots
+// (BENCH_baseline.json / BENCH_vm.json / BENCH_sched.json) are gated on.
+func BenchmarkSweepNP64(b *testing.B) { benchmarkSweepNP(b, 64) }
+
+// BenchmarkSweepNP256 and BenchmarkSweepNP1024 track scheduler scaling:
+// the cooperative run-to-block scheduler keeps one runnable rank at a
+// time, so cost grows with total events, not with goroutine contention.
+func BenchmarkSweepNP256(b *testing.B) { benchmarkSweepNP(b, 256) }
+
+// BenchmarkSweepNP1024 is the paper-scale point (ScalAna's evaluation
+// tops out at 4,096 processes); np=1024 must fit inside CI budgets.
+func BenchmarkSweepNP1024(b *testing.B) { benchmarkSweepNP(b, 1024) }
 
 // BenchmarkSweepParallelism measures the sweep engine on the zeusmp
 // {8,16,32,64} sweep at increasing worker counts. The serial
