@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// Malformed //scalana:allow directives (missing analyzer name or
+// justification) must be reported, not silently ignored: a suppression
+// without a reason rots into permanent blindness.
+func TestMalformedAllowReported(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//scalana:allow maporder
+	_ = 0
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	ai := buildAllowIndex(fset, []*ast.File{f}, &diags)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "malformed //scalana:allow") {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+	if ai.allows(token.Position{Filename: "p.go", Line: 5}, "maporder") {
+		t.Error("malformed directive must not register a suppression")
+	}
+}
+
+// A well-formed directive suppresses the named analyzer on its own line
+// and the line below, and nothing else.
+func TestAllowIndexScope(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//scalana:allow walltime justified for the test harness
+	_ = 0
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	ai := buildAllowIndex(fset, []*ast.File{f}, &diags)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	for _, line := range []int{4, 5} {
+		if !ai.allows(token.Position{Filename: "p.go", Line: line}, "walltime") {
+			t.Errorf("line %d: walltime should be suppressed", line)
+		}
+	}
+	if ai.allows(token.Position{Filename: "p.go", Line: 5}, "maporder") {
+		t.Error("suppression must be analyzer-specific")
+	}
+	if ai.allows(token.Position{Filename: "p.go", Line: 6}, "walltime") {
+		t.Error("suppression must not extend two lines down")
+	}
+}

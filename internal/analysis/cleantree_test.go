@@ -1,0 +1,35 @@
+package analysis
+
+import "testing"
+
+// TestLintCleanTree is the repo-wide invariant gate: the full analyzer
+// suite over every package in the module must report nothing. A failure
+// here means a determinism or hot-path contract regressed; fix the code
+// or add a justified //scalana:allow, never weaken the analyzer.
+func TestLintCleanTree(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+			total++
+		}
+	}
+	if total > 0 {
+		t.Errorf("%d invariant violations; scalana-lint must stay clean", total)
+	}
+}

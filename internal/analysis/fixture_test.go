@@ -1,0 +1,102 @@
+package analysis
+
+// Fixture-driven analyzer tests in the style of x/tools' analysistest:
+// each package under testdata/src carries `// want `regexp`` comments on
+// the lines where diagnostics are expected. The runner loads the fixture
+// module with the real loader, runs the full analyzer suite, and demands
+// an exact match: every diagnostic needs a want, every want needs a
+// diagnostic.
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wantArgRe = regexp.MustCompile("`([^`]*)`")
+
+func TestFixtures(t *testing.T) {
+	for _, dir := range []string{"maporder", "mpisim", "seededrand", "hotpath"} {
+		t.Run(dir, func(t *testing.T) { runFixture(t, dir) })
+	}
+}
+
+func runFixture(t *testing.T, dir string) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./"+dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("load fixture %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	wants := collectWants(t, pkg)
+	diags, err := RunAnalyzers(pkg, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matched := map[string][]bool{}
+	for key, res := range wants {
+		matched[key] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		ok := false
+		for i, re := range wants[key] {
+			if !matched[key][i] && re.MatchString(d.Message) {
+				matched[key][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for i, re := range res {
+			if !matched[key][i] {
+				t.Errorf("no diagnostic at %s matching %q", key, re)
+			}
+		}
+	}
+}
+
+// collectWants gathers `// want `re` `re`...` expectations keyed by
+// "file.go:line".
+func collectWants(t *testing.T, pkg *Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+				args := wantArgRe.FindAllStringSubmatch(text, -1)
+				if len(args) == 0 {
+					t.Fatalf("%s: want comment without a backquoted pattern: %s", key, c.Text)
+				}
+				for _, m := range args {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package — the linter's stand-in
+// for go/packages.Package. Only non-test Go files are loaded: the
+// invariants the suite enforces are contracts on shipped code, and the
+// walltime/seededrand passes explicitly exempt tests.
+type Package struct {
+	// Path is the import path ("scalana/internal/mpisim").
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset positions all Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's fact tables.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go tool (compiling export data for every
+// dependency) and type-checks each matched package from source. dir is
+// the directory to run the go tool in — normally the module root.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := map[string]string{}
+	var roots []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parse go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			p := lp
+			roots = append(roots, &p)
+		}
+	}
+
+	var pkgs []*Package
+	for _, lp := range roots {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(lp.ImportPath, lp.Dir, absFiles(lp.Dir, lp.GoFiles), exports, nil)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func absFiles(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		if filepath.IsAbs(n) {
+			out[i] = n
+		} else {
+			out[i] = filepath.Join(dir, n)
+		}
+	}
+	return out
+}
+
+// exportLookup adapts an import-path -> export-file map (plus an
+// optional import-path rewrite map, as in vet configs) to the lookup
+// function the standard library's gc importer accepts.
+func exportLookup(exports map[string]string, importMap map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// typeCheck parses and type-checks one package whose dependencies are
+// all available as gc export data.
+func typeCheck(importPath, dir string, files []string, exports, importMap map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var astFiles []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		astFiles = append(astFiles, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", exportLookup(exports, importMap)),
+	}
+	tpkg, err := conf.Check(importPath, fset, astFiles, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  fset,
+		Files: astFiles,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// TypeCheckVetUnit type-checks one package from a go vet -vettool
+// config: source files plus the export-data and import-path maps the go
+// command computed for the build.
+func TypeCheckVetUnit(importPath, dir string, goFiles []string, packageFile, importMap map[string]string) (*Package, error) {
+	return typeCheck(importPath, dir, goFiles, packageFile, importMap)
+}
+
+// ModuleRoot walks up from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,55 @@
+// Package hotpath exercises the hotpath analyzer: functions annotated
+// //scalana:hot are checked for allocation-prone constructs; panic
+// arguments are failure-path exempt; //scalana:allow suppresses with a
+// justification.
+package hotpath
+
+import "fmt"
+
+type state struct {
+	name string
+}
+
+// cold is unannotated: nothing here is checked.
+func cold() string {
+	return fmt.Sprintf("%d", 42)
+}
+
+// step is on the steady-state path.
+//
+//scalana:hot
+func step(s *state, n int) {
+	msg := fmt.Sprintf("step %d", n) // want `fmt.Sprintf in hot path step allocates`
+	_ = msg
+	s.name = s.name + "!" // want `string concatenation in hot path step allocates`
+	m := map[int]int{}    // want `map literal in hot path step allocates`
+	_ = m
+	sl := []int{n} // want `slice literal in hot path step allocates`
+	_ = sl
+	f := func() int { return n } // want `closure in hot path step captures n`
+	_ = f
+	var sink interface{}
+	sink = n // want `assignment boxes a non-pointer value into an interface in hot path step`
+	_ = sink
+}
+
+// crash may build its message: panic arguments are failure-path exempt
+// (a once-per-process crash message is not a steady-state allocation).
+//
+//scalana:hot
+func crash(s *state) {
+	if s == nil {
+		panic(fmt.Sprintf("nil state at step %s", "init"))
+	}
+	_ = s.name
+}
+
+// suppressed demonstrates the //scalana:allow escape hatch: analyzer
+// name plus a mandatory justification silences the diagnostic on the
+// line below.
+//
+//scalana:hot
+func suppressed(n int) {
+	//scalana:allow hotpath one-time warmup path, measured alloc-free afterwards
+	_ = fmt.Sprint(n)
+}

@@ -1,0 +1,69 @@
+// Package maporder exercises the maporder analyzer: range-over-map
+// feeding order-sensitive consumers. The expectations in the `want`
+// comments are regular expressions matched against diagnostics reported
+// on the same line.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+type record struct {
+	Key   string
+	Count int
+}
+
+// commLessBug reconstructs the PR 6 commLess bug shape: records are
+// appended in map iteration order and then sorted with a comparator that
+// is not total over the records (ties on Count keep their insertion —
+// i.e. map — order), so the output bytes differ run to run.
+func commLessBug(m map[string]record) []record {
+	var out []record
+	for _, rec := range m {
+		out = append(out, rec) // want `append to out inside a map range captures map iteration order`
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count < out[j].Count })
+	return out
+}
+
+// encodeUnsorted prints straight out of the map.
+func encodeUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `map iteration order reaches fmt.Printf`
+	}
+}
+
+// sumUnsorted accumulates a float across the map: FP addition is not
+// associative, so the total depends on visit order.
+func sumUnsorted(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `float accumulation into total`
+	}
+	return total
+}
+
+// keysNeverSorted collects the keys but never sorts them.
+func keysNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map keys appended to keys are never sorted`
+	}
+	return keys
+}
+
+// sortedKeys is the sanctioned idiom — collect the keys, sort them, then
+// index the map — and must stay diagnostic-free.
+func sortedKeys(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+// Package mpisim exercises the walltime analyzer: the directory name
+// matches a restricted simulator-core package segment, so wall-clock
+// reads and channel machinery are forbidden here.
+package mpisim
+
+import "time"
+
+// virtualDelay is legal: time.Duration is a unit, not a clock.
+func virtualDelay(d time.Duration) float64 { return d.Seconds() }
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now in package mpisim`
+}
+
+func sleeps() {
+	time.Sleep(1) // want `time.Sleep in package mpisim`
+}
+
+func makesChannel() {
+	ch := make(chan int) // want `channel type in package mpisim`
+	ch <- 1              // want `channel send in package mpisim`
+	<-ch                 // want `channel receive in package mpisim`
+}
+
+func selects(ch chan int) { // want `channel type in package mpisim`
+	select { // want `select in package mpisim`
+	case <-ch: // want `channel receive in package mpisim`
+	default:
+	}
+}

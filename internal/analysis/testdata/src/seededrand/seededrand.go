@@ -1,0 +1,19 @@
+// Package seededrand exercises the seededrand analyzer: global
+// math/rand draws are forbidden; explicit seeded streams are the
+// sanctioned replacement.
+package seededrand
+
+import "math/rand"
+
+func globalDraws() (int, float64) {
+	n := rand.Intn(10)  // want `global math/rand.Intn draws from process-wide shared state`
+	f := rand.Float64() // want `global math/rand.Float64 draws from process-wide shared state`
+	return n, f
+}
+
+// seeded is the sanctioned pattern: an explicit stream built from a
+// config-provided seed. Constructors and *rand.Rand methods are legal.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

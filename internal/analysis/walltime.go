@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WallTime enforces the PR 7 cooperative-scheduler contract: inside the
+// simulator core, time is virtual and scheduling is a baton handoff over
+// per-rank condition variables. Wall-clock reads, timers, channels, and
+// select would reintroduce the nondeterminism (goroutine wakeup order,
+// timer jitter) the scheduler was built to eliminate, so none of them
+// may appear in the restricted packages' non-test code.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbids wall-clock time (time.Now/After/Sleep/Timer/Ticker) and " +
+		"channel/select constructs in the simulator core packages " +
+		"(" + strings.Join(WallTimePackages, ", ") + "): simulation runs on " +
+		"virtual time under the cooperative scheduler only",
+	Run: runWallTime,
+}
+
+// WallTimePackages lists the final import-path segments of the packages
+// the walltime contract covers.
+var WallTimePackages = []string{"mpisim", "vm"}
+
+// forbiddenTimeNames are the wall-clock members of package time.
+// time.Duration stays legal: it is a unit, not a clock.
+var forbiddenTimeNames = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"Sleep": true, "Timer": true, "Ticker": true,
+}
+
+func walltimeRestricted(pkgPath string) bool {
+	seg := pkgPath
+	if i := strings.LastIndexByte(pkgPath, '/'); i >= 0 {
+		seg = pkgPath[i+1:]
+	}
+	for _, p := range WallTimePackages {
+		if seg == p {
+			return true
+		}
+	}
+	return false
+}
+
+func runWallTime(pass *Pass) error {
+	if !walltimeRestricted(pass.Pkg.Path()) {
+		return nil
+	}
+	pkg := pass.Pkg.Name()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "channel type in package %s: the cooperative scheduler contract allows "+
+					"no channels in the simulator core (use the baton handoff / sync.Cond machinery)", pkg)
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select in package %s: the cooperative scheduler contract allows no "+
+					"channel operations in the simulator core", pkg)
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in package %s: the cooperative scheduler contract allows "+
+					"no channel operations in the simulator core", pkg)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in package %s: the cooperative scheduler contract "+
+						"allows no channel operations in the simulator core", pkg)
+				}
+			case *ast.SelectorExpr:
+				if id, ok := n.X.(*ast.Ident); ok {
+					if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok &&
+						pn.Imported().Path() == "time" && forbiddenTimeNames[n.Sel.Name] {
+						pass.Reportf(n.Pos(), "time.%s in package %s: simulation must run on virtual time only "+
+							"(wall clocks and timers reintroduce the nondeterminism the scheduler removed)",
+							n.Sel.Name, pkg)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -205,8 +205,13 @@ func rankCauses(rep *Report, largest ScaleRun, cfg Config) {
 			agg[best.Vertex.VID] = &cp
 		}
 	}
-	for _, c := range agg {
-		rep.Causes = append(rep.Causes, *c)
+	vids := make([]psg.VID, 0, len(agg))
+	for vid := range agg {
+		vids = append(vids, vid)
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	for _, vid := range vids {
+		rep.Causes = append(rep.Causes, *agg[vid])
 	}
 	sort.Slice(rep.Causes, func(i, j int) bool {
 		if rep.Causes[i].Score != rep.Causes[j].Score {

@@ -160,10 +160,14 @@ func (rep *Report) EncodeJSON() ([]byte, error) {
 			ModelR2: WireFloat(ns.Model.R2),
 			Share:   WireFloat(ns.Share),
 		}
-		for np, t := range ns.Times {
-			j.Times = append(j.Times, scaleTimeJSON{NP: np, Time: WireFloat(t)})
+		nps := make([]int, 0, len(ns.Times))
+		for np := range ns.Times {
+			nps = append(nps, np)
 		}
-		sort.Slice(j.Times, func(a, b int) bool { return j.Times[a].NP < j.Times[b].NP })
+		sort.Ints(nps)
+		for _, np := range nps {
+			j.Times = append(j.Times, scaleTimeJSON{NP: np, Time: WireFloat(ns.Times[np])})
+		}
 		dto.NonScalable = append(dto.NonScalable, j)
 	}
 	for _, ab := range rep.Abnormal {

@@ -2,7 +2,9 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 
+	"scalana/internal/ppg"
 	"scalana/internal/psg"
 	"scalana/internal/report"
 
@@ -85,9 +87,19 @@ func fig6() (*Result, error) {
 	}
 	r.addf("%s\n", report.Table("vertex performance data (rank 0)", headers, rows))
 
+	froms := make([]ppg.EdgeFrom, 0, len(out.PPG().Edges))
+	for from := range out.PPG().Edges {
+		froms = append(froms, from)
+	}
+	sort.Slice(froms, func(i, j int) bool {
+		if froms[i].VID != froms[j].VID {
+			return froms[i].VID < froms[j].VID
+		}
+		return froms[i].Rank < froms[j].Rank
+	})
 	var erows [][]string
-	for from, edges := range out.PPG().Edges {
-		for _, e := range edges {
+	for _, from := range froms {
+		for _, e := range out.PPG().Edges[from] {
 			erows = append(erows, []string{out.Graph.KeyOf(from.VID), fmt.Sprintf("%d", from.Rank),
 				out.Graph.KeyOf(e.PeerVID), fmt.Sprintf("%d", e.PeerRank),
 				fmt.Sprintf("%d", e.Count), report.Seconds(e.TotalWait)})

@@ -175,9 +175,14 @@ func TopPaths(profiles []*RankProfile, n int) []HotPath {
 			hp.Samples += cd.Samples
 		}
 	}
-	out := make([]HotPath, 0, len(agg))
-	for _, hp := range agg {
-		out = append(out, *hp)
+	paths := make([]string, 0, len(agg))
+	for path := range agg {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	out := make([]HotPath, 0, len(paths))
+	for _, path := range paths {
+		out = append(out, *agg[path])
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Time != out[j].Time {

@@ -58,9 +58,14 @@ func FindLoops(fn *Func, dt *DomTree) []*Loop {
 		}
 	}
 
-	loops := make([]*Loop, 0, len(byHeader))
-	for _, l := range byHeader {
-		loops = append(loops, l)
+	headers := make([]int, 0, len(byHeader))
+	for h := range byHeader {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+	loops := make([]*Loop, 0, len(headers))
+	for _, h := range headers {
+		loops = append(loops, byHeader[h])
 	}
 	// Establish nesting: the parent of l is the smallest loop that strictly
 	// contains l's header and is not l itself.

@@ -345,9 +345,10 @@ func TestPanicOnOneRankAbortsRun(t *testing.T) {
 }
 
 func TestDeadlockDetection(t *testing.T) {
-	// DeadlockTimeout is a deprecated no-op: detection is exact and
-	// instant, so the test completes immediately regardless of the value.
-	w := NewWorld(Config{NP: 2, DeadlockTimeout: 200 * time.Millisecond})
+	// Detection is exact and instant: the test completes the moment the
+	// ready heap drains (no timeout knob exists anymore — the deprecated
+	// DeadlockTimeout no-op was removed; see DESIGN.md §11).
+	w := NewWorld(Config{NP: 2})
 	_, err := w.Run(func(p *Proc) {
 		if p.Rank == 0 {
 			p.Recv(1, 0, 64) // rank 1 never sends
@@ -450,7 +451,7 @@ func TestWaitUnknownRequestFails(t *testing.T) {
 }
 
 func TestMixedWildcardSpecificRejected(t *testing.T) {
-	w := NewWorld(Config{NP: 2, DeadlockTimeout: 2 * time.Second})
+	w := NewWorld(Config{NP: 2})
 	_, err := w.Run(func(p *Proc) {
 		if p.Rank == 0 {
 			// Specific recv claims seq 0, then a wildcard tries to steal

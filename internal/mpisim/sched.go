@@ -99,6 +99,8 @@ func newScheduler(w *World) *scheduler {
 
 // less orders the ready heap: smallest virtual clock first, rank index as
 // the deterministic tie-break (reversed under the test hook).
+//
+//scalana:hot
 func (s *scheduler) less(a, b rankEnt) bool {
 	if a.clock != b.clock {
 		return a.clock < b.clock
@@ -109,6 +111,9 @@ func (s *scheduler) less(a, b rankEnt) bool {
 	return a.rank < b.rank
 }
 
+// pushReady sifts a newly runnable rank into the ready heap.
+//
+//scalana:hot
 func (s *scheduler) pushReady(clock float64, rank int32) {
 	s.ready = append(s.ready, rankEnt{clock, rank})
 	i := len(s.ready) - 1
@@ -124,6 +129,8 @@ func (s *scheduler) pushReady(clock float64, rank int32) {
 
 // popReady removes and returns the minimum entry's rank, or -1 when the
 // heap is empty.
+//
+//scalana:hot
 func (s *scheduler) popReady() int {
 	n := len(s.ready)
 	if n == 0 {

@@ -6,7 +6,6 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
-	"time"
 
 	"scalana/internal/machine"
 )
@@ -36,11 +35,6 @@ type Config struct {
 	Seed int64
 	// HookFactory creates per-rank tool hooks; nil means no tools.
 	HookFactory func(rank int) []Hook
-	// DeadlockTimeout is deprecated and ignored. The cooperative
-	// scheduler detects deadlocks exactly: the instant no rank can make
-	// progress, the run fails with a per-rank diagnostic naming each
-	// blocked operation. The field survives so existing callers compile.
-	DeadlockTimeout time.Duration
 }
 
 // World is one simulated MPI job.
@@ -220,6 +214,8 @@ func (p *Proc) Hooks() []Hook { return p.rawHooks }
 
 // advance moves the clock forward and notifies hooks. Overhead requested
 // by hooks is charged as a follow-up AdvPerturb advance.
+//
+//scalana:hot
 func (p *Proc) advance(dt float64, kind AdvanceKind, pmu machine.Vec) {
 	if dt < 0 {
 		if dt > -1e-12 {
@@ -242,6 +238,8 @@ func (p *Proc) advance(dt float64, kind AdvanceKind, pmu machine.Vec) {
 // emit reports one completed MPI operation to the rank's hooks. The
 // event is staged in per-rank scratch storage that the next operation
 // overwrites; hooks must copy any fields they keep (see Hook).
+//
+//scalana:hot
 func (p *Proc) emit(ev Event) {
 	ev.Rank = p.Rank
 	ev.Ctx = p.Ctx

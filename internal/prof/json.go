@@ -76,34 +76,45 @@ func (rp *RankProfile) MarshalJSON() ([]byte, error) {
 		}
 		dto.Vertex[key] = &rp.Vertex[i]
 	}
-	for _, rec := range rp.Comm {
-		key, err := keyOf(rec.VID)
-		if err != nil {
+	// Wire order must not derive from map iteration order (the maporder
+	// invariant): collect the keys, validate them, sort them with a
+	// comparator total over distinct CommKeys, and only then build the
+	// record list. Sorting built records instead is how the PR 6 commLess
+	// bug hid — its record comparator skipped Tag and Collective, so tied
+	// records silently serialized in map order.
+	ckeys := make([]CommKey, 0, len(rp.Comm))
+	for ck := range rp.Comm {
+		if _, err := keyOf(ck.VID); err != nil {
 			return nil, err
 		}
-		dep := ""
-		if rec.DepVID != psg.VIDNone {
-			if dep, err = keyOf(rec.DepVID); err != nil {
+		if ck.DepVID != psg.VIDNone {
+			if _, err := keyOf(ck.DepVID); err != nil {
 				return nil, err
 			}
 		}
+		ckeys = append(ckeys, ck)
+	}
+	sort.Slice(ckeys, func(i, j int) bool { return commKeyLess(keys, ckeys[i], ckeys[j]) })
+	for _, ck := range ckeys {
+		rec := rp.Comm[ck]
+		dep := ""
+		if ck.DepVID != psg.VIDNone {
+			dep = keys[ck.DepVID]
+		}
 		dto.Comm = append(dto.Comm, &commRecordDTO{
-			VertexKey: key, Op: rec.Op, DepRank: rec.DepRank, DepVertex: dep,
-			Tag: rec.Tag, Bytes: rec.Bytes, Collective: rec.Collective,
+			VertexKey: keys[ck.VID], Op: ck.Op, DepRank: ck.DepRank, DepVertex: dep,
+			Tag: ck.Tag, Bytes: ck.Bytes, Collective: ck.Collective,
 			Count: rec.Count, TotalWait: rec.TotalWait, MaxWait: rec.MaxWait,
 		})
 	}
-	sort.Slice(dto.Comm, func(i, j int) bool { return commLess(dto.Comm[i], dto.Comm[j]) })
-	for _, rec := range rp.Indirect {
-		dto.Indirect = append(dto.Indirect, rec)
+	ikeys := make([]string, 0, len(rp.Indirect))
+	for k := range rp.Indirect {
+		ikeys = append(ikeys, k)
 	}
-	sort.Slice(dto.Indirect, func(i, j int) bool {
-		a, b := dto.Indirect[i], dto.Indirect[j]
-		if a.InstancePath != b.InstancePath {
-			return a.InstancePath < b.InstancePath
-		}
-		return a.Target < b.Target
-	})
+	sort.Strings(ikeys)
+	for _, k := range ikeys {
+		dto.Indirect = append(dto.Indirect, rp.Indirect[k])
+	}
 	return json.Marshal(dto)
 }
 
@@ -117,11 +128,17 @@ func (dto *rankProfileDTO) fromDTO(g *psg.Graph) (*RankProfile, error) {
 		}
 		return vid, nil
 	}
-	for key, pd := range dto.Vertex {
+	vkeys := make([]string, 0, len(dto.Vertex))
+	for key := range dto.Vertex {
+		vkeys = append(vkeys, key)
+	}
+	sort.Strings(vkeys)
+	for _, key := range vkeys {
 		vid, err := vidOf(key)
 		if err != nil {
 			return nil, err
 		}
+		pd := dto.Vertex[key]
 		if pd == nil {
 			return nil, fmt.Errorf("rank %d profile has a null record for vertex %q", dto.Rank, key)
 		}
@@ -156,9 +173,14 @@ func (dto *rankProfileDTO) fromDTO(g *psg.Graph) (*RankProfile, error) {
 	return rp, nil
 }
 
-func commLess(a, b *commRecordDTO) bool {
-	if a.VertexKey != b.VertexKey {
-		return a.VertexKey < b.VertexKey
+// commKeyLess orders communication records on the wire. It compares the
+// same fields, in the same order and direction, as the old record-level
+// commLess did — the on-disk byte sequence is unchanged — but it is
+// total over distinct CommKeys by construction: every CommKey field
+// participates, so no tie can fall through to map iteration order.
+func commKeyLess(keys []string, a, b CommKey) bool {
+	if ak, bk := keys[a.VID], keys[b.VID]; ak != bk {
+		return ak < bk
 	}
 	if a.Op != b.Op {
 		return a.Op < b.Op
@@ -166,8 +188,15 @@ func commLess(a, b *commRecordDTO) bool {
 	if a.DepRank != b.DepRank {
 		return a.DepRank < b.DepRank
 	}
-	if a.DepVertex != b.DepVertex {
-		return a.DepVertex < b.DepVertex
+	var ad, bd string
+	if a.DepVID != psg.VIDNone {
+		ad = keys[a.DepVID]
+	}
+	if b.DepVID != psg.VIDNone {
+		bd = keys[b.DepVID]
+	}
+	if ad != bd {
+		return ad < bd
 	}
 	if a.Tag != b.Tag {
 		return a.Tag < b.Tag

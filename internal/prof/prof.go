@@ -270,6 +270,8 @@ func ctxVID(ctx any) psg.VID {
 // vector; each period crossing "fires an interrupt" that attributes the
 // pending counters and one sample period of time to the current vertex —
 // the same attribution PAPI overflow sampling performs via the call stack.
+//
+//scalana:hot
 func (pr *Profiler) Advance(p *mpisim.Proc, from, to float64, kind mpisim.AdvanceKind, ctx any, pmu machine.Vec) float64 {
 	pr.pendingPMU.Add(pmu)
 	bucket := int64(to / pr.period)
@@ -291,6 +293,8 @@ func (pr *Profiler) Advance(p *mpisim.Proc, from, to float64, kind mpisim.Advanc
 }
 
 // MPIEvent implements the PMPI interposition layer.
+//
+//scalana:hot
 func (pr *Profiler) MPIEvent(p *mpisim.Proc, ev *mpisim.Event) float64 {
 	pr.profile.EventsSeen++
 

@@ -163,9 +163,14 @@ func AnalyzeWaitStates(traces []*RankTrace) []WaitState {
 			}
 		}
 	}
-	out := make([]WaitState, 0, len(agg))
-	for _, ws := range agg {
-		out = append(out, *ws)
+	verts := make([]psg.VID, 0, len(agg))
+	for v := range agg {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	out := make([]WaitState, 0, len(verts))
+	for _, v := range verts {
+		out = append(out, *agg[v])
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].TotalWait != out[j].TotalWait {

@@ -69,6 +69,8 @@ func init() {
 
 // num, truthy, and boolVal mirror the interpreter's helpers, panic
 // messages included.
+//
+//scalana:hot
 func num(v Value, pos minilang.Pos, what string) float64 {
 	if !v.IsNum() {
 		badNum(v, pos, what)
@@ -85,10 +87,16 @@ func badNum(v Value, pos minilang.Pos, what string) {
 	panic(fmt.Sprintf("%s: %s must be a number, got %s", pos, what, v))
 }
 
+// truthy coerces a condition value, panicking on non-numbers.
+//
+//scalana:hot
 func truthy(v Value, pos minilang.Pos) bool {
 	return num(v, pos, "condition") != 0
 }
 
+// boolVal converts a Go bool to the VM's numeric truth values.
+//
+//scalana:hot
 func boolVal(b bool) Value {
 	if b {
 		return Value{Num: 1}
@@ -98,6 +106,8 @@ func boolVal(b bool) Value {
 
 // call runs one function invocation. args is a subslice of the caller's
 // frame; it is copied into the callee frame before execution.
+//
+//scalana:hot
 func (m *machine) call(l *Link, args []Value) Value {
 	code := l.code
 	if m.depth == len(m.frames) {
@@ -115,6 +125,9 @@ func (m *machine) call(l *Link, args []Value) Value {
 	return v
 }
 
+// run is the bytecode dispatch loop — the hottest function in a sweep.
+//
+//scalana:hot
 func (m *machine) run(l *Link, f []Value) Value {
 	code := l.code
 	instrs := code.instrs
@@ -311,6 +324,8 @@ func (m *machine) run(l *Link, f []Value) Value {
 
 // mpi dispatches one MPI builtin. Argument conversion order and error
 // roles match the interpreter's evalMPI exactly.
+//
+//scalana:hot
 func (m *machine) mpi(code *Code, f []Value, in instr) {
 	pos := code.poss[in.pos]
 	o := mpiOp(in.d)

@@ -43,6 +43,13 @@ SCALANA_BENCH_EXEC="$exec_env" go test -run '^$' -bench Sweep -benchmem \
 SCALANA_BENCH_EXEC="$exec_env" go test -run '^$' -bench . -benchmem \
 	-benchtime "${BENCHTIME:-1s}" ./internal/prof | tee -a "$tmp"
 
+# An empty snapshot is worse than no snapshot: TestBenchBaselinesParse
+# would load it and gate against nothing.
+if ! grep -q '^Benchmark' "$tmp"; then
+	echo "bench-snapshot.sh: no benchmark output captured" >&2
+	exit 1
+fi
+
 awk -v mode="$mode" -v goversion="$(go env GOVERSION)" \
 	-v created="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
 	-v gomaxprocs="${GOMAXPROCS:-$(nproc)}" \
