@@ -10,6 +10,7 @@
 //	scalana-detect -app cg -scales 4,8,16 -abnorm-thd 1.5 -profiles dir/
 //	scalana-detect -app zeusmp -scales 8,16,32 -expect-cause bval3d
 //	scalana-detect -app cg -scales 4,8,16 -json report.json
+//	scalana-detect -app cg -scales 4,8 -store /var/lib/scalana
 //
 // With -expect-cause, the command exits non-zero unless some reported
 // root cause matches the substring (vertex key, name, or file:line) —
@@ -23,6 +24,9 @@
 //
 // With -profiles, previously saved scalana-prof outputs named
 // <app>.<np>.json are loaded from the directory instead of re-running.
+// With -store, profile sets come from a scalana-serve content-addressed
+// store instead; each requested scale must resolve to exactly one
+// stored set.
 package main
 
 import (
@@ -30,23 +34,25 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 
 	"scalana/internal/detect"
 	"scalana/internal/ppg"
 	"scalana/internal/prof"
+	"scalana/internal/scales"
+	"scalana/internal/store"
 
 	scalana "scalana"
 )
 
 func main() {
 	appName := flag.String("app", "", "workload name")
-	scales := flag.String("scales", "4,8,16,32", "comma-separated rank counts")
+	scaleList := flag.String("scales", "4,8,16,32", "comma-separated rank counts")
 	hz := flag.Float64("hz", 1000, "sampling frequency for profiling runs")
 	abnormThd := flag.Float64("abnorm-thd", 1.3, "AbnormThd detection parameter")
 	topK := flag.Int("topk", 10, "maximum non-scalable vertices reported")
 	profilesDir := flag.String("profiles", "", "directory of saved scalana-prof outputs")
+	storeDir := flag.String("store", "", "scalana-serve profile store to load sets from")
 	parallel := flag.Int("parallel", 0, "scales profiled concurrently (0 = one per CPU, 1 = one scale at a time)")
 	expectCause := flag.String("expect-cause", "", "exit non-zero unless a reported root cause matches this substring")
 	commCauses := flag.Bool("comm-causes", false, "admit non-scalable collectives as root-cause candidates (detect.Config.CommCauses)")
@@ -58,18 +64,11 @@ func main() {
 	if app == nil {
 		fatalf("unknown app %q", *appName)
 	}
-	var nps, dropped []int
-	for _, s := range strings.Split(*scales, ",") {
-		np, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			fatalf("bad scale %q", s)
-		}
-		if np >= app.MinNP {
-			nps = append(nps, np)
-		} else {
-			dropped = append(dropped, np)
-		}
+	all, err := scales.Parse(*scaleList)
+	if err != nil {
+		fatalf("-scales: %v", err)
 	}
+	nps, dropped := scales.SplitMin(all, app.MinNP)
 	if len(dropped) > 0 {
 		fmt.Fprintf(os.Stderr, "scalana-detect: dropping scales %v: %s requires at least %d ranks\n",
 			dropped, app.Name, app.MinNP)
@@ -77,9 +76,41 @@ func main() {
 	if len(nps) == 0 {
 		fatalf("no usable scales: all of %v are below the %d-rank minimum of %s", dropped, app.MinNP, app.Name)
 	}
+	if *profilesDir != "" && *storeDir != "" {
+		fatalf("-profiles and -store are mutually exclusive")
+	}
 
 	var runs []detect.ScaleRun
-	if *profilesDir != "" {
+	switch {
+	case *storeDir != "":
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		_, graph, err := scalana.Compile(app)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, np := range nps {
+			entry, err := st.Only(app.Name, np)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			data, err := st.Get(entry.Key)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			ps, err := prof.DecodeProfileSet(data, graph)
+			if err != nil {
+				fatalf("decode %s: %v", entry.Key, err)
+			}
+			pg, err := ppg.Build(graph, ps.Profiles)
+			if err != nil {
+				fatalf("assemble PPG from %s: %v", entry.Key, err)
+			}
+			runs = append(runs, detect.ScaleRun{NP: np, PPG: pg})
+		}
+	case *profilesDir != "":
 		_, graph, err := scalana.Compile(app)
 		if err != nil {
 			fatalf("%v", err)
@@ -96,7 +127,7 @@ func main() {
 			}
 			runs = append(runs, detect.ScaleRun{NP: np, PPG: pg})
 		}
-	} else {
+	default:
 		cfg := prof.DefaultConfig()
 		cfg.SampleHz = *hz
 		var err error

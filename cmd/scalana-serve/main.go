@@ -1,0 +1,74 @@
+// Command scalana-serve runs the detection service: the paper's
+// profile → PPG → detect → report workflow (§V) as a long-running HTTP
+// server over a content-addressed profile store. Clients upload
+// profile-set wire files (scalana-prof -o output, the
+// prof.EncodeProfileSet format) and query detect reports, sweep
+// comparisons, and communication matrices as JSON; one shared engine
+// compiles each app once no matter how many uploads and queries touch
+// it, and concurrent identical detect requests coalesce into a single
+// computation.
+//
+// Usage:
+//
+//	scalana-serve -store /var/lib/scalana
+//	scalana-serve -addr 127.0.0.1:8135 -store ./store -parallel 4
+//
+// Quickstart against a running server:
+//
+//	scalana-prof -app cg -np 4 -hz 1000 -o cg.4.json
+//	curl --data-binary @cg.4.json http://localhost:8135/v1/profiles
+//	curl -X POST -d '{"app":"cg"}' http://localhost:8135/v1/detect
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"scalana/internal/serve"
+	"scalana/internal/store"
+
+	scalana "scalana"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8135", "listen address")
+	storeDir := flag.String("store", "", "profile store directory (required; created if missing)")
+	parallel := flag.Int("parallel", 0, "bound on concurrent simulation/PPG work (0 = one per CPU); also fans simulate-mode sweeps")
+	hz := flag.Float64("hz", 1000, "profiler sampling frequency for simulate-mode detect runs")
+	quiet := flag.Bool("quiet", false, "suppress the per-request log")
+	flag.Parse()
+
+	if *storeDir == "" {
+		fatalf("-store is required")
+	}
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger := log.New(os.Stderr, "scalana-serve: ", log.LstdFlags)
+	cfg := serve.Config{
+		Store:       st,
+		Engine:      scalana.NewEngine(),
+		Parallelism: *parallel,
+		SampleHz:    *hz,
+	}
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger.Printf("listening on %s (store: %s)", *addr, st.Root())
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scalana-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -19,9 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
+	"scalana/internal/scales"
 	"scalana/internal/synth"
 )
 
@@ -69,12 +69,9 @@ func main() {
 	}
 
 	ecfg := synth.EvalConfig{Parallelism: *parallel, SampleHz: *hz, TopK: *topK, Interp: *useInterp}
-	for _, s := range strings.Split(*npList, ",") {
-		np, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || np <= 0 {
-			fatalf("bad -np-list entry %q", s)
-		}
-		ecfg.NPs = append(ecfg.NPs, np)
+	ecfg.NPs, err = scales.Parse(*npList)
+	if err != nil {
+		fatalf("-np-list: %v", err)
 	}
 	res, err := synth.Evaluate(corpus, ecfg)
 	if err != nil {

@@ -7,44 +7,59 @@
 //
 //	scalana-viewer -app zeusmp -scales 8,16,32,64
 //	scalana-viewer -app sst -scales 4,8,16,32 -context 3
+//	scalana-viewer -app cg -scales 4,8,16 -parallel 2 -interp
+//
+// The sweep runs through the standard engine: the app compiles once for
+// every scale, the scales fan out across -parallel workers, and -interp
+// selects the tree-walking interpreter — the same knobs every other
+// command exposes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"scalana/internal/detect"
 	"scalana/internal/prof"
+	"scalana/internal/scales"
 
 	scalana "scalana"
 )
 
 func main() {
 	appName := flag.String("app", "", "workload name")
-	scales := flag.String("scales", "4,8,16,32", "comma-separated rank counts")
+	scaleList := flag.String("scales", "4,8,16,32", "comma-separated rank counts")
 	context := flag.Int("context", 2, "source lines of context around each root cause")
+	hz := flag.Float64("hz", 1000, "sampling frequency for profiling runs")
+	parallel := flag.Int("parallel", 0, "scales profiled concurrently (0 = one per CPU, 1 = one scale at a time)")
+	useInterp := flag.Bool("interp", false, "execute on the tree-walking interpreter instead of the bytecode VM")
 	flag.Parse()
 
 	app := scalana.GetApp(*appName)
 	if app == nil {
 		fatalf("unknown app %q", *appName)
 	}
-	var nps []int
-	for _, s := range strings.Split(*scales, ",") {
-		np, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			fatalf("bad scale %q", s)
-		}
-		if np >= app.MinNP {
-			nps = append(nps, np)
-		}
+	all, err := scales.Parse(*scaleList)
+	if err != nil {
+		fatalf("-scales: %v", err)
+	}
+	nps, dropped := scales.SplitMin(all, app.MinNP)
+	if len(dropped) > 0 {
+		fmt.Fprintf(os.Stderr, "scalana-viewer: dropping scales %v: %s requires at least %d ranks\n",
+			dropped, app.Name, app.MinNP)
+	}
+	if len(nps) == 0 {
+		fatalf("no usable scales: all of %v are below the %d-rank minimum of %s", dropped, app.MinNP, app.Name)
 	}
 	cfg := prof.DefaultConfig()
-	cfg.SampleHz = 1000
-	runs, err := scalana.Sweep(app, nps, cfg)
+	cfg.SampleHz = *hz
+	runs, err := scalana.SweepWithConfig(app, nps, scalana.SweepConfig{
+		Parallelism: *parallel,
+		Prof:        cfg,
+		Interp:      *useInterp,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}

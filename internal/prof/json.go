@@ -213,6 +213,17 @@ func (ps *ProfileSet) Encode() ([]byte, error) {
 	return json.MarshalIndent(ps, "", " ")
 }
 
+// EncodeProfileSet is the package-level spelling of Encode, the inverse
+// of DecodeProfileSet. The pair is the service wire contract:
+// scalana-serve accepts exactly these bytes as uploads and the
+// content-addressed store preserves them byte-for-byte.
+func EncodeProfileSet(ps *ProfileSet) ([]byte, error) {
+	if ps == nil {
+		return nil, fmt.Errorf("prof: EncodeProfileSet: nil profile set")
+	}
+	return ps.Encode()
+}
+
 // Save writes the profile set to a JSON file.
 func (ps *ProfileSet) Save(path string) error {
 	data, err := ps.Encode()

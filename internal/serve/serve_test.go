@@ -1,0 +1,486 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"scalana/internal/detect"
+	"scalana/internal/ppg"
+	"scalana/internal/prof"
+	"scalana/internal/store"
+	"scalana/internal/synth"
+
+	scalana "scalana"
+)
+
+// newTestServer builds a server over a temp store with serial
+// simulation (deterministic and CI-friendly on one CPU).
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: st, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func post(t *testing.T, url, contentType string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, data
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, data
+}
+
+// encodeSets profiles an app at each scale and returns the wire bytes
+// per scale — what a client would upload.
+func encodeSets(t *testing.T, eng *scalana.Engine, app *scalana.App, nps []int, hz float64) map[int][]byte {
+	t.Helper()
+	pcfg := prof.DefaultConfig()
+	pcfg.SampleHz = hz
+	sets := make(map[int][]byte, len(nps))
+	for _, np := range nps {
+		out, err := eng.Run(scalana.RunConfig{App: app, NP: np, ToolName: "scalana", Prof: pcfg})
+		if err != nil {
+			t.Fatalf("profile %s np=%d: %v", app.Name, np, err)
+		}
+		ps := &prof.ProfileSet{App: app.Name, NP: np, Elapsed: out.Result.Elapsed, Profiles: out.Profiles()}
+		data, err := prof.EncodeProfileSet(ps)
+		if err != nil {
+			t.Fatalf("encode np=%d: %v", np, err)
+		}
+		sets[np] = data
+	}
+	return sets
+}
+
+// offlineReport reproduces scalana-detect's -profiles code path in
+// process: decode the wire bytes, assemble PPGs, detect, encode — the
+// bytes the CLI would write with -json.
+func offlineReport(t *testing.T, app *scalana.App, nps []int, sets map[int][]byte, dcfg detect.Config) []byte {
+	t.Helper()
+	_, graph, err := scalana.Compile(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []detect.ScaleRun
+	for _, np := range nps {
+		ps, err := prof.DecodeProfileSet(sets[np], graph)
+		if err != nil {
+			t.Fatalf("decode np=%d: %v", np, err)
+		}
+		pg, err := ppg.Build(graph, ps.Profiles)
+		if err != nil {
+			t.Fatalf("build PPG np=%d: %v", np, err)
+		}
+		runs = append(runs, detect.ScaleRun{NP: np, PPG: pg})
+	}
+	rep, err := scalana.DetectScalingLoss(runs, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// TestServedDetectByteIdenticalSynthCase is the acceptance harness: a
+// synth-corpus case is registered with the server, its profile sets are
+// uploaded, and the served detect report must be byte-identical to the
+// offline scalana-detect -json pipeline over the same wire bytes.
+func TestServedDetectByteIdenticalSynthCase(t *testing.T) {
+	corpus, err := synth.Generate(synth.GenConfig{Seed: 1, Cases: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := corpus.Cases[0]
+	app := c.App()
+	nps := []int{c.MinNP, c.MinNP * 2}
+
+	srv, ts := newTestServer(t)
+	eng := scalana.NewEngine()
+	sets := encodeSets(t, eng, app, nps, 1000)
+	offline := offlineReport(t, app, nps, sets, detect.DefaultConfig())
+
+	// Register the case's source, then upload its profile sets.
+	appBody, _ := json.Marshal(appUploadJSON{Name: app.Name, Source: app.Source, MinNP: app.MinNP})
+	if code, body := post(t, ts.URL+"/v1/apps", "application/json", appBody); code != http.StatusCreated {
+		t.Fatalf("register app: %d %s", code, body)
+	}
+	for _, np := range nps {
+		if code, body := post(t, ts.URL+"/v1/profiles", "application/json", sets[np]); code != http.StatusCreated {
+			t.Fatalf("upload np=%d: %d %s", np, code, body)
+		}
+	}
+
+	req, _ := json.Marshal(detectRequest{App: app.Name, Scales: nps})
+	code, served := post(t, ts.URL+"/v1/detect", "application/json", req)
+	if code != http.StatusOK {
+		t.Fatalf("detect: %d %s", code, served)
+	}
+	if !bytes.Equal(served, offline) {
+		t.Fatalf("served report differs from offline scalana-detect -json output\nserved %d bytes, offline %d bytes", len(served), len(offline))
+	}
+
+	// Omitting scales selects every stored scale ascending — same report.
+	req2, _ := json.Marshal(detectRequest{App: app.Name})
+	if code, served2 := post(t, ts.URL+"/v1/detect", "application/json", req2); code != http.StatusOK || !bytes.Equal(served2, served) {
+		t.Fatalf("detect without scales: %d, identical=%t", code, bytes.Equal(served2, served))
+	}
+
+	// The shared engine compiled the uploaded app once: registration,
+	// two uploads, and two detect queries all hit one cache entry.
+	if cs := srv.engine.CacheStats(); cs.Misses != 1 {
+		t.Fatalf("expected one compile miss across uploads+queries, got %+v", cs)
+	}
+}
+
+// TestStoredBytesByteIdentical uploads the committed cg fixtures over
+// HTTP and reads them back unchanged, and checks the served detect
+// report against the offline pipeline over those same fixtures.
+func TestStoredBytesByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t)
+	app := scalana.GetApp("cg")
+	sets := map[int][]byte{}
+	for _, np := range []int{4, 8} {
+		data, err := os.ReadFile(filepath.Join("..", "..", "testdata", fmt.Sprintf("cg.%d.json", np)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets[np] = data
+		code, body := post(t, ts.URL+"/v1/profiles", "application/json", data)
+		if code != http.StatusCreated {
+			t.Fatalf("upload cg.%d: %d %s", np, code, body)
+		}
+		var res struct {
+			store.Key
+			Size int64 `json:"size"`
+		}
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Hash != store.HashOf(data) || res.NP != np || res.App != "cg" {
+			t.Fatalf("upload result %+v", res)
+		}
+		code, back := get(t, fmt.Sprintf("%s/v1/profiles/cg/%d/%s", ts.URL, np, res.Hash))
+		if code != http.StatusOK || !bytes.Equal(back, data) {
+			t.Fatalf("GET stored cg.%d: %d, identical=%t", np, code, bytes.Equal(back, data))
+		}
+	}
+
+	offline := offlineReport(t, app, []int{4, 8}, sets, detect.DefaultConfig())
+	req, _ := json.Marshal(detectRequest{App: "cg", Scales: []int{4, 8}})
+	code, served := post(t, ts.URL+"/v1/detect", "application/json", req)
+	if code != http.StatusOK || !bytes.Equal(served, offline) {
+		t.Fatalf("served cg report: %d, identical=%t", code, bytes.Equal(served, offline))
+	}
+}
+
+// TestDetectCoalescing is the acceptance test for request dedup: two
+// concurrent identical detect requests must trigger exactly one
+// simulation. The detectGate hook holds the first computation open
+// until the second request has verifiably joined the flight.
+func TestDetectCoalescing(t *testing.T) {
+	srv, ts := newTestServer(t)
+	gate := make(chan struct{})
+	srv.detectGate = gate
+
+	body, _ := json.Marshal(detectRequest{App: "cg", Scales: []int{4, 8}, Simulate: true})
+	type result struct {
+		code int
+		data []byte
+	}
+	results := make(chan result, 2)
+	var wg sync.WaitGroup
+	launch := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, data := post(t, ts.URL+"/v1/detect", "application/json", body)
+			results <- result{code, data}
+		}()
+	}
+
+	waitFor := func(desc string, pred func() bool) {
+		t.Helper()
+		for i := 0; i < 1000; i++ {
+			if pred() {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", desc)
+	}
+
+	launch() // first request starts computing and blocks on the gate
+	waitFor("first compute to start", func() bool { return srv.detectComputes.Load() == 1 })
+	launch() // second identical request must join, not compute
+	waitFor("second request to coalesce", func() bool { return srv.detectCoalesced.Load() == 1 })
+	close(gate)
+	wg.Wait()
+	close(results)
+
+	var bodies [][]byte
+	for r := range results {
+		if r.code != http.StatusOK {
+			t.Fatalf("detect: %d %s", r.code, r.data)
+		}
+		bodies = append(bodies, r.data)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatal("coalesced responses differ")
+	}
+	if got := srv.detectComputes.Load(); got != 1 {
+		t.Fatalf("expected exactly one detect computation, got %d", got)
+	}
+	if st := srv.Stats(); st.DetectComputes != 1 || st.DetectCoalesced != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// A third identical request after completion recomputes (the flight
+	// group dedups in-flight work, it is not a response cache) — and the
+	// report is byte-identical, which is the determinism contract.
+	code, third := post(t, ts.URL+"/v1/detect", "application/json", body)
+	if code != http.StatusOK || !bytes.Equal(third, bodies[0]) {
+		t.Fatalf("post-flight request: %d, identical=%t", code, bytes.Equal(third, bodies[0]))
+	}
+	if got := srv.detectComputes.Load(); got != 2 {
+		t.Fatalf("expected a second computation after the flight drained, got %d", got)
+	}
+}
+
+// TestSimulateMatchesStored: simulate-mode detect over (app, scales)
+// equals stored-mode detect over uploads produced at the same hz/seed.
+func TestSimulateMatchesStored(t *testing.T) {
+	_, ts := newTestServer(t)
+	app := scalana.GetApp("cg")
+	nps := []int{4, 8}
+	sets := encodeSets(t, scalana.NewEngine(), app, nps, 1000)
+	for _, np := range nps {
+		if code, body := post(t, ts.URL+"/v1/profiles", "application/json", sets[np]); code != http.StatusCreated {
+			t.Fatalf("upload np=%d: %d %s", np, code, body)
+		}
+	}
+	storedReq, _ := json.Marshal(detectRequest{App: "cg", Scales: nps})
+	simReq, _ := json.Marshal(detectRequest{App: "cg", Scales: nps, Simulate: true})
+	codeA, stored := post(t, ts.URL+"/v1/detect", "application/json", storedReq)
+	codeB, simulated := post(t, ts.URL+"/v1/detect", "application/json", simReq)
+	if codeA != http.StatusOK || codeB != http.StatusOK {
+		t.Fatalf("detect: stored=%d simulated=%d", codeA, codeB)
+	}
+	if !bytes.Equal(stored, simulated) {
+		t.Fatal("simulate-mode report differs from stored-mode report for identical inputs")
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		req  detectRequest
+		code int
+	}{
+		{"unknown app", detectRequest{App: "no-such-app", Scales: []int{4}}, http.StatusNotFound},
+		{"duplicate scales", detectRequest{App: "cg", Scales: []int{4, 4}}, http.StatusBadRequest},
+		{"zero scale", detectRequest{App: "cg", Scales: []int{0}}, http.StatusBadRequest},
+		{"nothing stored", detectRequest{App: "cg", Scales: []int{4}}, http.StatusNotFound},
+		{"empty store, no scales", detectRequest{App: "cg"}, http.StatusNotFound},
+		{"simulate needs scales", detectRequest{App: "cg", Simulate: true}, http.StatusBadRequest},
+		{"simulate below MinNP", detectRequest{App: "cg", Simulate: true, Scales: []int{1, 4}}, http.StatusBadRequest},
+		{"scales and hashes", detectRequest{App: "cg", Scales: []int{4}, Hashes: []string{"ab"}}, http.StatusBadRequest},
+		{"simulate with hashes", detectRequest{App: "cg", Simulate: true, Scales: []int{4}, Hashes: []string{"ab"}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		body, _ := json.Marshal(tc.req)
+		if code, resp := post(t, ts.URL+"/v1/detect", "application/json", body); code != tc.code {
+			t.Errorf("%s: got %d (%s), want %d", tc.name, code, resp, tc.code)
+		}
+	}
+}
+
+func TestAmbiguousScaleNeedsHash(t *testing.T) {
+	srv, ts := newTestServer(t)
+	app := scalana.GetApp("cg")
+	nps := []int{4}
+	// Two different uploads for one (app, np): different sampling rates.
+	a := encodeSets(t, srv.engine, app, nps, 1000)[4]
+	b := encodeSets(t, srv.engine, app, nps, 500)[4]
+	if bytes.Equal(a, b) {
+		t.Fatal("test needs two distinct profile sets")
+	}
+	for _, data := range [][]byte{a, b} {
+		if code, body := post(t, ts.URL+"/v1/profiles", "application/json", data); code != http.StatusCreated {
+			t.Fatalf("upload: %d %s", code, body)
+		}
+	}
+	req, _ := json.Marshal(detectRequest{App: "cg", Scales: []int{4}})
+	if code, _ := post(t, ts.URL+"/v1/detect", "application/json", req); code != http.StatusConflict {
+		t.Fatalf("ambiguous scale: got %d, want 409", code)
+	}
+	// Naming the hash (a unique prefix) disambiguates.
+	req2, _ := json.Marshal(detectRequest{App: "cg", Hashes: []string{store.HashOf(a)[:16]}})
+	if code, body := post(t, ts.URL+"/v1/detect", "application/json", req2); code != http.StatusOK {
+		t.Fatalf("hash-selected detect: %d %s", code, body)
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, _ := post(t, ts.URL+"/v1/profiles", "application/json", []byte(`{"app":"no-such-app","np":4}`)); code != http.StatusNotFound {
+		t.Fatalf("unknown app upload: got %d, want 404", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/profiles", "application/json", []byte(`not json`)); code != http.StatusBadRequest {
+		t.Fatalf("malformed upload: got %d, want 400", code)
+	}
+	// Valid envelope, but profiles naming vertices cg does not have.
+	bad := []byte(`{"app":"cg","np":4,"elapsed":1,"profiles":[{"rank":0,"np":4,"vertex":{"bogus@1":{}},"comm":[],"indirect":[]}]}`)
+	if code, _ := post(t, ts.URL+"/v1/profiles", "application/json", bad); code != http.StatusBadRequest {
+		t.Fatalf("mismatched profile upload: got %d, want 400", code)
+	}
+	// Nothing invalid may have landed in the store.
+	if code, body := get(t, ts.URL+"/v1/profiles"); code != http.StatusOK || !bytes.Contains(body, []byte(`"sets": null`)) {
+		t.Fatalf("store not empty after rejected uploads: %d %s", code, body)
+	}
+}
+
+func TestAppUploadValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Bundled name collision.
+	body, _ := json.Marshal(appUploadJSON{Name: "cg", Source: "def main() {}"})
+	if code, _ := post(t, ts.URL+"/v1/apps", "application/json", body); code != http.StatusConflict {
+		t.Fatal("bundled-name registration did not 409")
+	}
+	// Bad source fails compilation.
+	body, _ = json.Marshal(appUploadJSON{Name: "broken", Source: "def ("})
+	if code, _ := post(t, ts.URL+"/v1/apps", "application/json", body); code != http.StatusBadRequest {
+		t.Fatal("uncompilable source did not 400")
+	}
+	// Re-registering identical source is idempotent; different source conflicts.
+	src := scalana.GetApp("cg").Source
+	body, _ = json.Marshal(appUploadJSON{Name: "cg-copy", Source: src, MinNP: 2})
+	if code, _ := post(t, ts.URL+"/v1/apps", "application/json", body); code != http.StatusCreated {
+		t.Fatal("first registration failed")
+	}
+	if code, _ := post(t, ts.URL+"/v1/apps", "application/json", body); code != http.StatusOK {
+		t.Fatal("idempotent re-registration failed")
+	}
+	body2, _ := json.Marshal(appUploadJSON{Name: "cg-copy", Source: src + "\n", MinNP: 2})
+	if code, _ := post(t, ts.URL+"/v1/apps", "application/json", body2); code != http.StatusConflict {
+		t.Fatal("conflicting re-registration did not 409")
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	app := scalana.GetApp("cg")
+	nps := []int{4, 8}
+	sets := encodeSets(t, srv.engine, app, nps, 1000)
+	for _, np := range nps {
+		post(t, ts.URL+"/v1/profiles", "application/json", sets[np])
+	}
+	code, body := get(t, ts.URL+"/v1/sweep?app=cg")
+	if code != http.StatusOK {
+		t.Fatalf("sweep: %d %s", code, body)
+	}
+	var resp sweepResponseJSON
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Runs) != 2 || resp.Runs[0].NP != 4 || resp.Runs[1].NP != 8 {
+		t.Fatalf("sweep runs %+v", resp.Runs)
+	}
+	if resp.Runs[0].Speedup != 1 || resp.Runs[0].Efficiency != 1 {
+		t.Fatalf("base scale not normalized: %+v", resp.Runs[0])
+	}
+	if resp.Model == nil {
+		t.Fatal("sweep over two scales has no fitted model")
+	}
+	// Identical query twice: deterministic bytes.
+	_, body2 := get(t, ts.URL+"/v1/sweep?app=cg")
+	if !bytes.Equal(body, body2) {
+		t.Fatal("sweep response is not deterministic")
+	}
+	if code, _ := get(t, ts.URL+"/v1/sweep?app=cg&scales=4,4"); code != http.StatusBadRequest {
+		t.Fatal("duplicate scales in sweep query did not 400")
+	}
+}
+
+func TestCommEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/v1/comm?app=cg&np=4")
+	if code != http.StatusOK {
+		t.Fatalf("comm: %d %s", code, body)
+	}
+	var resp commResponseJSON
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.NP != 4 || len(resp.Bytes) != 16 || len(resp.Msgs) != 16 {
+		t.Fatalf("comm matrix shape: np=%d bytes=%d msgs=%d", resp.NP, len(resp.Bytes), len(resp.Msgs))
+	}
+	if resp.TotalBytes <= 0 || len(resp.TopFlows) == 0 {
+		t.Fatalf("comm matrix empty: total=%v flows=%d", resp.TotalBytes, len(resp.TopFlows))
+	}
+	_, body2 := get(t, ts.URL+"/v1/comm?app=cg&np=4")
+	if !bytes.Equal(body, body2) {
+		t.Fatal("comm response is not deterministic")
+	}
+	if code, _ := get(t, ts.URL+"/v1/comm?app=cg&np=1"); code != http.StatusBadRequest {
+		t.Fatal("np below MinNP did not 400")
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	code, body := get(t, ts.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, ts.URL+"/v1/apps"); code != http.StatusOK {
+		t.Fatal("apps listing failed")
+	}
+}

@@ -1,0 +1,249 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// fixture reads one of the repo's committed profile-set wire fixtures.
+func fixture(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	return data
+}
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// TestRoundTripFixtures stores the committed wire fixtures and asserts
+// the store hands back byte-identical content — the property every
+// served detect report depends on.
+func TestRoundTripFixtures(t *testing.T) {
+	s := open(t)
+	for _, tc := range []struct {
+		name string
+		np   int
+	}{{"cg.4.json", 4}, {"cg.8.json", 8}} {
+		data := fixture(t, tc.name)
+		k, err := s.Put("cg", tc.np, data)
+		if err != nil {
+			t.Fatalf("Put %s: %v", tc.name, err)
+		}
+		if k.App != "cg" || k.NP != tc.np || k.Hash != HashOf(data) {
+			t.Fatalf("Put %s returned key %v", tc.name, k)
+		}
+		got, err := s.Get(k)
+		if err != nil {
+			t.Fatalf("Get %s: %v", tc.name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: stored bytes differ from fixture (%d vs %d bytes)", tc.name, len(got), len(data))
+		}
+		// Idempotent re-put returns the same address.
+		k2, err := s.Put("cg", tc.np, data)
+		if err != nil {
+			t.Fatalf("re-Put %s: %v", tc.name, err)
+		}
+		if k2 != k {
+			t.Fatalf("re-Put %s: key changed %v -> %v", tc.name, k, k2)
+		}
+	}
+	entries, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(entries) != 2 || entries[0].NP != 4 || entries[1].NP != 8 {
+		t.Fatalf("List = %+v", entries)
+	}
+}
+
+func TestGetVerifiesContentHash(t *testing.T) {
+	s := open(t)
+	k, err := s.Put("cg", 4, []byte(`{"app":"cg"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored file behind the store's back.
+	if err := os.WriteFile(s.pathFor(k), []byte(`{"app":"evil"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(k); err == nil {
+		t.Fatal("Get returned corrupted bytes without error")
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	s := open(t)
+	if _, err := s.Put("../evil", 4, []byte("x")); err == nil {
+		t.Fatal("Put accepted a traversing app name")
+	}
+	if _, err := s.Put(".hidden", 4, []byte("x")); err == nil {
+		t.Fatal("Put accepted a dot-leading app name")
+	}
+	if _, err := s.Put("cg", 0, []byte("x")); err == nil {
+		t.Fatal("Put accepted scale 0")
+	}
+	if _, err := s.Put("cg", 4, nil); err == nil {
+		t.Fatal("Put accepted empty bytes")
+	}
+	if _, err := s.Put("synth-0001-stencil-imbalance", 4, []byte("x")); err != nil {
+		t.Fatalf("Put rejected a legal synth case name: %v", err)
+	}
+}
+
+func TestOnlyAndResolve(t *testing.T) {
+	s := open(t)
+	if _, err := s.Only("cg", 4); err == nil {
+		t.Fatal("Only succeeded on an empty store")
+	}
+	a, _ := s.Put("cg", 4, []byte("payload-a"))
+	if e, err := s.Only("cg", 4); err != nil || e.Key != a {
+		t.Fatalf("Only = %v, %v", e, err)
+	}
+	b, _ := s.Put("cg", 4, []byte("payload-b"))
+	if _, err := s.Only("cg", 4); err == nil {
+		t.Fatal("Only did not reject an ambiguous (app, np)")
+	}
+	if e, err := s.Resolve("cg", a.Hash[:12]); err != nil || e.Key != a {
+		t.Fatalf("Resolve(a) = %v, %v", e, err)
+	}
+	if e, err := s.Resolve("cg", b.Hash); err != nil || e.Key != b {
+		t.Fatalf("Resolve(full b) = %v, %v", e, err)
+	}
+	if _, err := s.Resolve("cg", "zz"); err == nil {
+		t.Fatal("Resolve accepted a non-hex prefix")
+	}
+	if a.Hash[0] == b.Hash[0] {
+		if _, err := s.Resolve("cg", a.Hash[:1]); err == nil {
+			t.Fatal("Resolve did not reject an ambiguous prefix")
+		}
+	}
+}
+
+// TestConcurrentPutGet hammers one store from many goroutines — run
+// under -race in CI. Writers repeatedly store both distinct and
+// identical payloads while readers Get and List; every read must see
+// complete, hash-consistent bytes.
+func TestConcurrentPutGet(t *testing.T) {
+	s := open(t)
+	const writers, readers, rounds = 8, 8, 20
+
+	payload := func(w, r int) []byte {
+		return []byte(fmt.Sprintf(`{"app":"app%d","np":4,"round":%d,"pad":"%064d"}`, w%4, r%5, w*r))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				data := payload(w, r)
+				k, err := s.Put(fmt.Sprintf("app%d", w%4), 4, data)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := s.Get(k)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, data) {
+					errs <- fmt.Errorf("writer %d round %d: bytes differ", w, r)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				entries, err := s.List()
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, e := range entries {
+					data, err := s.Get(e.Key)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if HashOf(data) != e.Hash {
+						errs <- fmt.Errorf("entry %v: bytes do not hash to address", e.Key)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every distinct payload is present exactly once per (app, np, hash).
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Key]bool{}
+	for _, e := range entries {
+		if seen[e.Key] {
+			t.Fatalf("duplicate listing for %v", e.Key)
+		}
+		seen[e.Key] = true
+	}
+}
+
+func TestListDeterministicOrder(t *testing.T) {
+	s := open(t)
+	// Insert out of order across apps and scales.
+	s.Put("zeta", 8, []byte("z8"))
+	s.Put("alpha", 16, []byte("a16"))
+	s.Put("alpha", 4, []byte("a4"))
+	s.Put("alpha", 4, []byte("a4-second"))
+	s.Put("zeta", 2, []byte("z2"))
+	first, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("List order is not stable")
+	}
+	var order []string
+	for _, e := range first {
+		order = append(order, fmt.Sprintf("%s/%d", e.App, e.NP))
+	}
+	want := []string{"alpha/4", "alpha/4", "alpha/16", "zeta/2", "zeta/8"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("List order = %v, want %v", order, want)
+	}
+	// The two alpha/4 entries come back hash-sorted.
+	if first[0].Hash > first[1].Hash {
+		t.Fatal("entries for one (app, np) are not hash-sorted")
+	}
+}
