@@ -11,6 +11,7 @@
 //	scalana-detect -app zeusmp -scales 8,16,32 -expect-cause bval3d
 //	scalana-detect -app cg -scales 4,8,16 -json report.json
 //	scalana-detect -app cg -scales 4,8 -store /var/lib/scalana
+//	scalana-detect -app cg -store /var/lib/scalana -watch
 //
 // With -expect-cause, the command exits non-zero unless some reported
 // root cause matches the substring (vertex key, name, or file:line) —
@@ -27,6 +28,12 @@
 // With -store, profile sets come from a scalana-serve content-addressed
 // store instead; each requested scale must resolve to exactly one
 // stored set.
+//
+// With -watch (requires -store), the command switches to streaming
+// regression mode: the newest stored run at -np (default: the largest
+// stored scale) is scored against the rolling per-vertex baseline built
+// from every earlier run, exactly as scalana-serve's GET /v1/watch —
+// with -json '-', the bytes are identical to the served response.
 package main
 
 import (
@@ -36,7 +43,9 @@ import (
 	"path/filepath"
 	"strings"
 
+	"scalana/internal/baseline"
 	"scalana/internal/detect"
+	"scalana/internal/fit"
 	"scalana/internal/ppg"
 	"scalana/internal/prof"
 	"scalana/internal/scales"
@@ -58,11 +67,27 @@ func main() {
 	commCauses := flag.Bool("comm-causes", false, "admit non-scalable collectives as root-cause candidates (detect.Config.CommCauses)")
 	jsonOut := flag.String("json", "", "also write the report as JSON to this file ('-' for stdout)")
 	useInterp := flag.Bool("interp", false, "execute on the tree-walking interpreter instead of the bytecode VM")
+	watch := flag.Bool("watch", false, "streaming regression mode: score the newest stored run against the rolling baseline (requires -store)")
+	watchNP := flag.Int("np", 0, "scale to watch (0 = largest stored scale; -watch only)")
+	watchZ := flag.Float64("z", 3, "z-score flagging threshold (-watch only)")
+	watchCUSUM := flag.Float64("cusum", 5, "CUSUM flagging threshold (-watch only)")
+	watchK := flag.Float64("cusum-k", 0.5, "CUSUM slack per run (-watch only)")
+	watchMinRuns := flag.Int("min-runs", 2, "minimum baseline runs before a vertex is scored (-watch only)")
+	watchMinShare := flag.Float64("min-share", 0.01, "minimum share of total time for flagging (-watch only)")
+	watchMerge := flag.String("merge", "median", "cross-rank merge strategy for baselines (-watch only)")
 	flag.Parse()
 
 	app := scalana.GetApp(*appName)
 	if app == nil {
 		fatalf("unknown app %q", *appName)
+	}
+	if *watch {
+		p := baseline.Params{
+			ZThd: *watchZ, CUSUMThd: *watchCUSUM, CUSUMK: *watchK,
+			MinRuns: *watchMinRuns, MinShare: *watchMinShare,
+		}
+		runWatch(app, *storeDir, *watchNP, p, *watchMerge, *jsonOut)
+		return
 	}
 	all, err := scales.Parse(*scaleList)
 	if err != nil {
@@ -182,6 +207,62 @@ func main() {
 				*expectCause, len(rep.Causes), describeCause(&rep.Causes[0]))
 		}
 		fmt.Fprintf(os.Stderr, "scalana-detect: expectation %q met\n", *expectCause)
+	}
+}
+
+// runWatch is the -watch mode: load the store's full run history into a
+// rolling-baseline state and score the newest run at one scale. The
+// JSON bytes written with -json are exactly what GET /v1/watch serves
+// for the same store and thresholds.
+func runWatch(app *scalana.App, storeDir string, np int, p baseline.Params, mergeName, jsonOut string) {
+	if storeDir == "" {
+		fatalf("-watch requires -store")
+	}
+	merge, err := fit.ParseMergeStrategy(mergeName)
+	if err != nil {
+		fatalf("-merge: %v", err)
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	_, graph, err := scalana.Compile(app)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	state, err := baseline.LoadStore(st, app.Name, graph, merge)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	nps := state.NPs()
+	if len(nps) == 0 {
+		fatalf("no profile sets stored for app %q in %s", app.Name, storeDir)
+	}
+	if np == 0 {
+		np = nps[len(nps)-1]
+	}
+	rep, err := state.Watch(np, p)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rendered := os.Stdout
+	if jsonOut == "-" {
+		rendered = os.Stderr
+	}
+	fmt.Fprint(rendered, rep.Render())
+	if jsonOut != "" {
+		data, err := rep.EncodeJSON()
+		if err != nil {
+			fatalf("encode report: %v", err)
+		}
+		if jsonOut == "-" {
+			os.Stdout.Write(append(data, '\n'))
+		} else if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			fatalf("write report: %v", err)
+		}
+	}
+	if !rep.Quiet() {
+		os.Exit(2) // regressions found: distinct from usage/runtime failures (1)
 	}
 }
 

@@ -1,0 +1,83 @@
+package baseline
+
+// Native fuzz target for the watch-report wire format: decoding
+// arbitrary bytes must never panic, any decoded report must render, and
+// one decode -> encode pass is a normalization fixpoint (encoding again
+// is byte-identical). Seed corpus: f.Add below plus the committed files
+// under testdata/fuzz/FuzzBaselineWire/.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// fuzzSeedReport builds a report exercising every wire feature: IEEE
+// specials (a +Inf z from a zero-variance baseline, NaN slopes from a
+// single-scale history), multi-run histories, and non-default params.
+func fuzzSeedReport() *Report {
+	return &Report{
+		App:          "cg",
+		NP:           8,
+		Newest:       RunRef{NP: 8, Seq: 2, Hash: "00deadbeef", Elapsed: 3.25},
+		Runs:         3,
+		BaselineRuns: 2,
+		Merge:        1, // fit.MergeMean
+		Params:       Params{ZThd: 2.5, CUSUMThd: 4, CUSUMK: 0.25, MinRuns: 2, MinShare: 0.05},
+		History: []RunRef{
+			{NP: 8, Seq: 0, Hash: "aa", Elapsed: 1},
+			{NP: 8, Seq: 1, Hash: "bb", Elapsed: 2},
+			{NP: 8, Seq: 2, Hash: "00deadbeef", Elapsed: 3.25},
+		},
+		Vertices: 12,
+		Regressions: []Regression{
+			{
+				Ref:  VertexRef{Key: "main:12", Kind: "comp", Name: "compute", File: "seed.mp", Line: 5},
+				Mean: 1, Std: 0, BaselineRuns: 2,
+				Value: 20, Z: math.Inf(1), CUSUM: 7.5, Share: 0.4,
+				SlopeOld: math.NaN(), SlopeNew: math.NaN(), SlopeDelta: math.NaN(),
+			},
+			{
+				Ref:  VertexRef{Key: "main:20", Kind: "mpi", Name: "mpi_allreduce", File: "seed.mp", Line: 9},
+				Mean: 0.5, Std: 0.1, BaselineRuns: 2,
+				Value: 0.9, Z: 4, CUSUM: 3.5, Share: 0.1,
+				SlopeOld: 0.8, SlopeNew: 1.6, SlopeDelta: 0.8,
+			},
+		},
+	}
+}
+
+func FuzzBaselineWire(f *testing.F) {
+	seed, err := fuzzSeedReport().EncodeJSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte("{}"))
+	f.Add([]byte("null"))
+	f.Add([]byte(`{"np":-1,"merge":"weird","regressions":[{"vertex":{"key":"x"},"z":"inf"}]}`))
+	f.Add([]byte(`{"app":"a","history":[{"np":4,"seq":0,"elapsed":"nan"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReport(data)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		_ = rep.Render() // every decoded report must render
+		enc, err := rep.EncodeJSON()
+		if err != nil {
+			t.Fatalf("decoded report does not re-encode: %v", err)
+		}
+		rep2, err := DecodeReport(enc)
+		if err != nil {
+			t.Fatalf("re-encoded report does not decode: %v\n%s", err, enc)
+		}
+		enc2, err := rep2.EncodeJSON()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("decode/encode is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"scalana/internal/fit"
+	"scalana/internal/psg"
+	"scalana/internal/store"
+)
+
+// LoadStore builds a full rolling-baseline state for one application
+// from a content-addressed store: every stored run at every scale,
+// ingested in the store's upload order (store.History), which assigns
+// each run its sequence number. scalana-detect -watch uses this
+// directly; the service runs the same loop with a sample cache in
+// front, so both produce identical states from identical stores.
+func LoadStore(st *store.Store, appName string, g *psg.Graph, merge fit.MergeStrategy) (*State, error) {
+	state := NewState(appName, g, merge)
+	entries, err := st.ListApp(appName)
+	if err != nil {
+		return nil, err
+	}
+	npSet := map[int]bool{}
+	for _, e := range entries {
+		npSet[e.NP] = true
+	}
+	nps := make([]int, 0, len(npSet))
+	for np := range npSet {
+		nps = append(nps, np)
+	}
+	sort.Ints(nps)
+	for _, np := range nps {
+		hist, err := st.History(appName, np)
+		if err != nil {
+			return nil, err
+		}
+		for seq, e := range hist {
+			data, err := st.Get(e.Key)
+			if err != nil {
+				return nil, err
+			}
+			smp, err := IngestBytes(data, g, e.Hash, merge)
+			if err != nil {
+				return nil, fmt.Errorf("baseline: ingest %s: %w", e.Key, err)
+			}
+			if smp.NP != np {
+				return nil, fmt.Errorf("baseline: %s decodes to np=%d but is stored under np=%d: %w",
+					e.Key, smp.NP, np, store.ErrCorrupt)
+			}
+			if err := state.Add(seq, smp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return state, nil
+}

@@ -1,0 +1,106 @@
+package fit
+
+// Incremental log-log fitting (ISSUE 10). The streaming regression
+// tracker extends a fitted model by one scale whenever a new profile set
+// arrives; refitting from scratch would force it to re-merge every
+// stored run's per-rank samples first. LogLogAccum keeps the regression
+// sufficient statistics so extending a fit costs O(1), while producing
+// exactly the coefficients FitLogLog computes over the full sweep: the
+// sums accumulate in Add order, which is the same order FitLogLog's loop
+// uses, so a point-at-a-time accumulator and a full refit agree to the
+// last bit, not just within tolerance.
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogLogAccum incrementally fits y = exp(a) * p^b over (log p, log y)
+// points added one at a time. The zero value is an empty accumulator;
+// copies are independent (extending a copy does not disturb the
+// original), which is how a rolling baseline forks "fit without the
+// newest run" from "fit with it".
+type LogLogAccum struct {
+	n                int
+	sx, sy, sxx, sxy float64
+	// The raw points are retained for the residual pass: R² needs the
+	// fitted coefficients, which do not exist until Model is called, and
+	// computing it from closed-form sums alone loses precision exactly
+	// when the fit is good (catastrophic cancellation in syy - sy²/n).
+	// A sweep has a handful of scales, so this stays tiny.
+	ps, ys []float64
+}
+
+// N returns the number of points added so far.
+func (ac *LogLogAccum) N() int { return ac.n }
+
+// Add extends the accumulator with one (scale, sample) point. It
+// enforces the same input rules as FitLogLog — NaN scales, non-positive
+// scales, and NaN samples are errors — and clamps non-positive samples
+// to the same tiny epsilon. A failed Add leaves the accumulator
+// unchanged.
+func (ac *LogLogAccum) Add(p, y float64) error {
+	if math.IsNaN(p) {
+		return fmt.Errorf("fit: NaN scale at index %d", ac.n)
+	}
+	if p <= 0 {
+		return fmt.Errorf("fit: non-positive scale %g", p)
+	}
+	if math.IsNaN(y) {
+		return fmt.Errorf("fit: NaN sample at scale %g", p)
+	}
+	const eps = 1e-12
+	x := math.Log(p)
+	ly := math.Log(math.Max(y, eps))
+	ac.n++
+	ac.sx += x
+	ac.sy += ly
+	ac.sxx += x * x
+	ac.sxy += x * ly
+	ac.ps = append(ac.ps, p)
+	ac.ys = append(ac.ys, y)
+	return nil
+}
+
+// Clone returns an independent copy of the accumulator. The slice
+// backing is duplicated, so Add on the clone never aliases the
+// original's points (append could otherwise share capacity).
+func (ac *LogLogAccum) Clone() *LogLogAccum {
+	cp := *ac
+	cp.ps = append([]float64(nil), ac.ps...)
+	cp.ys = append([]float64(nil), ac.ys...)
+	return &cp
+}
+
+// Model fits the accumulated points. It fails under the same conditions
+// as FitLogLog: fewer than two points, or all scales identical.
+func (ac *LogLogAccum) Model() (LogLog, error) {
+	if ac.n < 2 {
+		return LogLog{}, fmt.Errorf("fit: need at least 2 points, got %d", ac.n)
+	}
+	n := float64(ac.n)
+	den := n*ac.sxx - ac.sx*ac.sx
+	if den == 0 {
+		return LogLog{}, fmt.Errorf("fit: all scales identical")
+	}
+	b := (n*ac.sxy - ac.sx*ac.sy) / den
+	a := (ac.sy - b*ac.sx) / n
+
+	// Residual pass in insertion order — identical arithmetic to
+	// FitLogLog's second loop.
+	const eps = 1e-12
+	meanY := ac.sy / n
+	var ssTot, ssRes float64
+	for i := range ac.ps {
+		x := math.Log(ac.ps[i])
+		y := math.Log(math.Max(ac.ys[i], eps))
+		pred := a + b*x
+		ssTot += (y - meanY) * (y - meanY)
+		ssRes += (y - pred) * (y - pred)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LogLog{A: a, B: b, R2: r2}, nil
+}

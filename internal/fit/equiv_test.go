@@ -1,0 +1,135 @@
+package fit_test
+
+// Incremental-vs-full fit equivalence (ISSUE 10 acceptance): extending
+// a LogLogAccum one scale at a time must reproduce FitLogLog over the
+// full sweep within 1e-12 on every coefficient, across every case of
+// the committed synth corpus. The external test package breaks the
+// import cycle fit -> scalana -> fit would otherwise form.
+
+import (
+	"math"
+	"testing"
+
+	"scalana/internal/fit"
+	"scalana/internal/prof"
+	"scalana/internal/psg"
+	"scalana/internal/synth"
+
+	scalana "scalana"
+)
+
+const equivTol = 1e-12
+
+// closeEnough compares coefficients under the acceptance tolerance,
+// treating a shared NaN (degenerate fit) as agreement.
+func closeEnough(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= equivTol
+}
+
+func TestIncrementalFitMatchesFullRefit(t *testing.T) {
+	corpus, err := synth.Generate(synth.GenConfig{Seed: 1, Cases: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := scalana.NewEngine()
+	allNPs := []int{4, 8, 16}
+	profCfg := prof.DefaultConfig()
+	profCfg.SampleHz = 1000
+
+	fitsChecked := 0
+	for _, c := range corpus.Cases {
+		nps, _ := synthUsable(allNPs, c.MinNP)
+		if len(nps) < 2 {
+			t.Fatalf("case %s: fewer than 2 usable scales out of %v (min_np=%d)", c.Name, allNPs, c.MinNP)
+		}
+		runs, err := eng.Sweep(c.App(), nps, scalana.SweepConfig{
+			Parallelism: 1,
+			Prof:        profCfg,
+			Seed:        corpus.Seed,
+		})
+		if err != nil {
+			t.Fatalf("sweep %s: %v", c.Name, err)
+		}
+		nvids := runs[0].PPG.NumVIDs()
+		for vid := 0; vid < nvids; vid++ {
+			ps := make([]float64, len(runs))
+			ys := make([]float64, len(runs))
+			skip := false
+			for i, run := range runs {
+				ps[i] = float64(run.NP)
+				ys[i] = fit.Merge(run.PPG.TimeSeries(psg.VID(vid)), fit.MergeMedian)
+				if math.IsNaN(ys[i]) {
+					skip = true // vertex absent at this scale: FitLogLog rejects NaN
+					break
+				}
+			}
+			if skip {
+				continue
+			}
+			full, err := fit.FitLogLog(ps, ys)
+			if err != nil {
+				t.Fatalf("%s vid %d: full refit: %v", c.Name, vid, err)
+			}
+
+			// Point-at-a-time accumulation over the whole sweep.
+			var ac fit.LogLogAccum
+			for i := range ps {
+				if err := ac.Add(ps[i], ys[i]); err != nil {
+					t.Fatalf("%s vid %d: Add(%g, %g): %v", c.Name, vid, ps[i], ys[i], err)
+				}
+			}
+			inc, err := ac.Model()
+			if err != nil {
+				t.Fatalf("%s vid %d: incremental model: %v", c.Name, vid, err)
+			}
+			if !closeEnough(full.A, inc.A) || !closeEnough(full.B, inc.B) || !closeEnough(full.R2, inc.R2) {
+				t.Fatalf("%s vid %d: incremental fit diverged:\nfull %+v\nincr %+v", c.Name, vid, full, inc)
+			}
+
+			// The rolling-baseline path: fit all-but-last, then extend a
+			// clone by the frontier point. The clone must match the full
+			// refit and the original must be undisturbed.
+			var old fit.LogLogAccum
+			for i := 0; i < len(ps)-1; i++ {
+				if err := old.Add(ps[i], ys[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ext := old.Clone()
+			if err := ext.Add(ps[len(ps)-1], ys[len(ps)-1]); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ext.Model()
+			if err != nil {
+				t.Fatalf("%s vid %d: extended model: %v", c.Name, vid, err)
+			}
+			if !closeEnough(full.A, got.A) || !closeEnough(full.B, got.B) || !closeEnough(full.R2, got.R2) {
+				t.Fatalf("%s vid %d: clone+extend diverged from full refit:\nfull %+v\next  %+v", c.Name, vid, full, got)
+			}
+			if old.N() != len(ps)-1 {
+				t.Fatalf("%s vid %d: extending the clone disturbed the original (n=%d)", c.Name, vid, old.N())
+			}
+			fitsChecked++
+		}
+	}
+	if fitsChecked == 0 {
+		t.Fatal("no fits compared: the corpus produced no usable vertex series")
+	}
+	t.Logf("compared %d per-vertex fits across %d cases", fitsChecked, len(corpus.Cases))
+}
+
+// synthUsable mirrors scales.SplitMin without importing it (keeps this
+// test's dependencies to the packages under comparison).
+func synthUsable(nps []int, minNP int) (kept, dropped []int) {
+	for _, np := range nps {
+		if np >= minNP {
+			kept = append(kept, np)
+		} else {
+			dropped = append(dropped, np)
+		}
+	}
+	return kept, dropped
+}

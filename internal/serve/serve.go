@@ -22,6 +22,8 @@
 //	POST /v1/detect                       detect report (detect.EncodeJSON bytes)
 //	GET  /v1/sweep?app=&scales=           per-scale elapsed/speedup/efficiency + log-log model
 //	GET  /v1/comm?app=&np=                simulated rank-to-rank communication matrix
+//	POST /v1/baseline                     warm/rebuild rolling baselines {app, rebuild}
+//	GET  /v1/watch?app=[&np=]             newest run vs rolling baseline (baseline.EncodeJSON bytes)
 //
 // A detect request reads stored profile sets by default (name scales,
 // or hashes, or nothing for "every stored scale"); with "simulate":
@@ -44,6 +46,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"scalana/internal/baseline"
 	"scalana/internal/commmatrix"
 	"scalana/internal/detect"
 	"scalana/internal/fit"
@@ -72,6 +75,14 @@ type Config struct {
 	// SampleHz is the profiler rate for simulate-mode detect runs
 	// (default 1000, matching scalana-detect's flag default).
 	SampleHz float64
+	// Watch sets the default regression-flagging thresholds for
+	// /v1/watch; zero fields take baseline.DefaultParams. Individual
+	// requests may override them via query parameters.
+	Watch baseline.Params
+	// Merge is the cross-rank merge strategy baselines are built with.
+	// It is server-wide, not per-request: samples cached under one
+	// strategy are not comparable to baselines built under another.
+	Merge fit.MergeStrategy
 	// Logf receives one line per request (nil disables logging).
 	Logf func(format string, args ...any)
 }
@@ -94,6 +105,17 @@ type Server struct {
 	mu       sync.Mutex
 	uploaded map[string]*scalana.App
 
+	// watch holds the server-wide default flagging thresholds; merge the
+	// server-wide baseline merge strategy.
+	watch baseline.Params
+	merge fit.MergeStrategy
+
+	// samples caches ingested baseline samples by store key. Entries are
+	// content-addressed (derived from stored bytes + compiled graph +
+	// server-wide merge strategy only), so the cache never invalidates.
+	sampleMu sync.Mutex
+	samples  map[store.Key]*baseline.Sample
+
 	uploads         atomic.Int64
 	detectComputes  atomic.Int64
 	detectCoalesced atomic.Int64
@@ -101,12 +123,17 @@ type Server struct {
 	sweepCoalesced  atomic.Int64
 	commComputes    atomic.Int64
 	commCoalesced   atomic.Int64
+	watchComputes   atomic.Int64
+	watchCoalesced  atomic.Int64
+	sampleIngests   atomic.Int64
 
 	// detectGate, when non-nil, blocks every detect computation until the
 	// channel closes. Test hook: it lets the coalescing test hold the
 	// first computation open until a second request has verifiably
 	// joined. Set before the server starts handling requests.
 	detectGate chan struct{}
+	// watchGate is the same hook for watch computations.
+	watchGate chan struct{}
 }
 
 // New creates a server.
@@ -131,6 +158,9 @@ func New(cfg Config) (*Server, error) {
 		engine:   eng,
 		parallel: p,
 		sampleHz: hz,
+		watch:    cfg.Watch.Normalized(),
+		merge:    cfg.Merge,
+		samples:  map[store.Key]*baseline.Sample{},
 		logf:     cfg.Logf,
 		gate:     make(chan struct{}, p),
 		uploaded: map[string]*scalana.App{},
@@ -153,6 +183,12 @@ type Stats struct {
 	SweepCoalesced  int64 `json:"sweep_coalesced"`
 	CommComputes    int64 `json:"comm_computes"`
 	CommCoalesced   int64 `json:"comm_coalesced"`
+	WatchComputes   int64 `json:"watch_computes"`
+	WatchCoalesced  int64 `json:"watch_coalesced"`
+	// BaselineSamples is the number of ingested samples in the baseline
+	// cache; SampleIngests counts ingestions performed (cache misses).
+	BaselineSamples int   `json:"baseline_samples"`
+	SampleIngests   int64 `json:"sample_ingests"`
 	// CompileCache is the shared engine's PSG compile-cache counters.
 	CompileCache scalana.CacheStats `json:"compile_cache"`
 }
@@ -169,6 +205,10 @@ func (s *Server) Stats() Stats {
 		SweepCoalesced:  s.sweepCoalesced.Load(),
 		CommComputes:    s.commComputes.Load(),
 		CommCoalesced:   s.commCoalesced.Load(),
+		WatchComputes:   s.watchComputes.Load(),
+		WatchCoalesced:  s.watchCoalesced.Load(),
+		BaselineSamples: s.sampleCount(),
+		SampleIngests:   s.sampleIngests.Load(),
 		CompileCache:    s.engine.CacheStats(),
 	}
 }
@@ -201,6 +241,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/detect", s.handleDetect)
 	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/comm", s.handleComm)
+	mux.HandleFunc("POST /v1/baseline", s.handleBaseline)
+	mux.HandleFunc("GET /v1/watch", s.handleWatch)
 	return s.logged(mux)
 }
 
@@ -264,18 +306,27 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Write(append(data, '\n'))
 }
 
-// fail maps a compute-path error onto an HTTP response.
+// fail maps a compute-path error onto an HTTP response. Store errors
+// carry sentinel wraps, so each failure class lands on its own status
+// instead of collapsing into 500: malformed client input is 400,
+// missing content 404, ambiguous selections 409 (the client must name a
+// hash), and corruption — server-side state gone bad — stays 500.
 func fail(w http.ResponseWriter, err error) {
 	var he *httpError
 	if errors.As(err, &he) {
 		writeErr(w, he.code, "%s", he.msg)
 		return
 	}
-	if errors.Is(err, os.ErrNotExist) {
+	switch {
+	case errors.Is(err, os.ErrInvalid):
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, os.ErrNotExist):
 		writeErr(w, http.StatusNotFound, "%v", err)
-		return
+	case errors.Is(err, store.ErrAmbiguous):
+		writeErr(w, http.StatusConflict, "%v", err)
+	default:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
 	}
-	writeErr(w, http.StatusInternalServerError, "%v", err)
 }
 
 // acquire takes one simulation-gate slot.
@@ -677,7 +728,7 @@ func (s *Server) resolveStored(appName string, scaleList []int, hashes []string)
 		for _, h := range hashes {
 			e, err := s.st.Resolve(appName, h)
 			if err != nil {
-				return nil, storeErr(err)
+				return nil, err
 			}
 			if seenNP[e.NP] {
 				return nil, errf(http.StatusBadRequest, "two selected sets share scale np=%d; detection needs one run per scale", e.NP)
@@ -707,20 +758,11 @@ func (s *Server) resolveStored(appName string, scaleList []int, hashes []string)
 	for _, np := range scaleList {
 		e, err := s.st.Only(appName, np)
 		if err != nil {
-			return nil, storeErr(err)
+			return nil, err
 		}
 		entries = append(entries, e)
 	}
 	return entries, nil
-}
-
-// storeErr maps store resolution failures to HTTP statuses: missing
-// content is 404, ambiguous selections are 409.
-func storeErr(err error) error {
-	if errors.Is(err, os.ErrNotExist) {
-		return errf(http.StatusNotFound, "%v", err)
-	}
-	return errf(http.StatusConflict, "%v", err)
 }
 
 func dedupSorted(nps []int) []int {
@@ -748,7 +790,7 @@ func (s *Server) loadRuns(app *scalana.App, entries []store.Entry) ([]detect.Sca
 	for _, e := range entries {
 		data, err := s.st.Get(e.Key)
 		if err != nil {
-			return nil, storeErr(err)
+			return nil, err
 		}
 		ps, err := prof.DecodeProfileSet(data, graph)
 		if err != nil {
@@ -856,7 +898,7 @@ func (s *Server) computeSweep(app *scalana.App, entries []store.Entry) ([]byte, 
 	for _, e := range entries {
 		data, err := s.st.Get(e.Key)
 		if err != nil {
-			return nil, storeErr(err)
+			return nil, err
 		}
 		ps, err := prof.DecodeProfileSet(data, graph)
 		if err != nil {

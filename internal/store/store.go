@@ -26,12 +26,31 @@ package store
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+)
+
+// Sentinel errors, used by callers (the HTTP service in particular) to
+// map store failures onto the right failure class instead of guessing
+// from message text. Every error the store returns wraps exactly one of
+// these or os.ErrNotExist / os.ErrInvalid:
+//
+//   - os.ErrInvalid: the caller's input was malformed (bad app name, bad
+//     hash, non-positive scale) — a client error.
+//   - os.ErrNotExist: the named content is not stored.
+//   - ErrAmbiguous: the query matches more than one stored set and the
+//     store refuses to guess.
+//   - ErrCorrupt: stored state contradicts itself — bytes that no longer
+//     match their content hash, or a history log naming a missing file.
+var (
+	ErrAmbiguous = errors.New("ambiguous")
+	ErrCorrupt   = errors.New("store corrupt")
 )
 
 // Key addresses one stored profile set.
@@ -58,6 +77,11 @@ type Entry struct {
 // directory.
 type Store struct {
 	root string
+	// mu serializes writes (Put and its history-log append) within this
+	// process. Readers of stored sets need no lock — rename is the commit
+	// point — but the upload-order log is append-only per (app, np) and
+	// the append must pair atomically with the file landing.
+	mu sync.Mutex
 }
 
 // Open returns a store rooted at dir, creating the directory if needed.
@@ -109,20 +133,33 @@ func (s *Store) pathFor(k Key) string {
 	return filepath.Join(s.dirFor(k.App, k.NP), k.Hash+".json")
 }
 
+// historyName is the per-(app, np) upload-order log: one content hash
+// per line, appended when a Put first lands that content. The name is
+// not a valid <hash>.json entry, so listings skip it automatically.
+const historyName = "history.log"
+
+func (s *Store) historyPath(app string, np int) string {
+	return filepath.Join(s.dirFor(app, np), historyName)
+}
+
 // Put stores data under (app, np, HashOf(data)) and returns the key.
 // Storing bytes that are already present is a no-op returning the same
 // key — content addressing makes the write idempotent. The write is
-// atomic (temp file + rename in the destination directory).
+// atomic (temp file + rename in the destination directory), and the
+// first time a given content lands its hash is appended to the (app,
+// np) history log, establishing the upload order History reports.
 func (s *Store) Put(app string, np int, data []byte) (Key, error) {
 	if !ValidName(app) {
-		return Key{}, fmt.Errorf("store: invalid app name %q", app)
+		return Key{}, fmt.Errorf("store: invalid app name %q: %w", app, os.ErrInvalid)
 	}
 	if np < 1 {
-		return Key{}, fmt.Errorf("store: invalid scale %d", np)
+		return Key{}, fmt.Errorf("store: invalid scale %d: %w", np, os.ErrInvalid)
 	}
 	if len(data) == 0 {
-		return Key{}, fmt.Errorf("store: refusing to store an empty profile set")
+		return Key{}, fmt.Errorf("store: refusing to store an empty profile set: %w", os.ErrInvalid)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	k := Key{App: app, NP: np, Hash: HashOf(data)}
 	path := s.pathFor(k)
 	if _, err := os.Stat(path); err == nil {
@@ -150,7 +187,85 @@ func (s *Store) Put(app string, np int, data []byte) (Key, error) {
 		os.Remove(tmpName)
 		return Key{}, fmt.Errorf("store: put %s: %w", k, err)
 	}
+	if err := s.appendHistory(app, np, k.Hash); err != nil {
+		return Key{}, err
+	}
 	return k, nil
+}
+
+// appendHistory records one newly landed hash in the upload-order log.
+// Caller holds s.mu.
+func (s *Store) appendHistory(app string, np int, hash string) error {
+	f, err := os.OpenFile(s.historyPath(app, np), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: history %s/%d: %w", app, np, err)
+	}
+	_, werr := f.WriteString(hash + "\n")
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("store: history %s/%d: %w", app, np, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: history %s/%d: %w", app, np, cerr)
+	}
+	return nil
+}
+
+// History returns the stored entries for one (app, np) in upload order —
+// the order Puts first landed their content. The position of an entry in
+// the returned slice is its stable history sequence number, the fold
+// order rolling baselines use.
+//
+// The log is reconciled against the directory on every read: duplicate
+// log lines collapse to their first occurrence, a logged hash whose file
+// has vanished is ErrCorrupt (history names a run that no longer
+// exists), and stored sets that predate the log (or were copied in by
+// hand) are appended after all logged entries in hash order, so legacy
+// stores keep a deterministic — if arbitrary — ordering.
+func (s *Store) History(app string, np int) ([]Entry, error) {
+	if !ValidName(app) {
+		return nil, fmt.Errorf("store: invalid app name %q: %w", app, os.ErrInvalid)
+	}
+	if np < 1 {
+		return nil, fmt.Errorf("store: invalid scale %d: %w", np, os.ErrInvalid)
+	}
+	stored, err := s.ListScale(app, np)
+	if err != nil {
+		return nil, err
+	}
+	byHash := make(map[string]Entry, len(stored))
+	for _, e := range stored {
+		byHash[e.Hash] = e
+	}
+
+	s.mu.Lock()
+	raw, err := os.ReadFile(s.historyPath(app, np))
+	s.mu.Unlock()
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: history %s/%d: %w", app, np, err)
+	}
+
+	var out []Entry
+	seen := map[string]bool{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		hash := strings.TrimSpace(line)
+		if !validHash(hash) || seen[hash] {
+			continue
+		}
+		seen[hash] = true
+		e, ok := byHash[hash]
+		if !ok {
+			return nil, fmt.Errorf("store: history %s/%d names %s but no such set is stored: %w",
+				app, np, hash, ErrCorrupt)
+		}
+		out = append(out, e)
+	}
+	for _, e := range stored { // ListScale is hash-ascending, so unlogged legacy sets append deterministically
+		if !seen[e.Hash] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
 }
 
 // Get returns the stored bytes for a key, verified against the content
@@ -158,7 +273,7 @@ func (s *Store) Put(app string, np int, data []byte) (Key, error) {
 // bytes downstream.
 func (s *Store) Get(k Key) ([]byte, error) {
 	if !ValidName(k.App) || !validHash(k.Hash) || k.NP < 1 {
-		return nil, fmt.Errorf("store: invalid key %s", k)
+		return nil, fmt.Errorf("store: invalid key %s: %w", k, os.ErrInvalid)
 	}
 	data, err := os.ReadFile(s.pathFor(k))
 	if err != nil {
@@ -168,7 +283,7 @@ func (s *Store) Get(k Key) ([]byte, error) {
 		return nil, fmt.Errorf("store: get %s: %w", k, err)
 	}
 	if got := HashOf(data); got != k.Hash {
-		return nil, fmt.Errorf("store: %s: content hash mismatch (stored bytes hash to %s)", k, got)
+		return nil, fmt.Errorf("store: %s: content hash mismatch (stored bytes hash to %s): %w", k, got, ErrCorrupt)
 	}
 	return data, nil
 }
@@ -208,7 +323,7 @@ func (s *Store) List() ([]Entry, error) {
 // ascending then hash.
 func (s *Store) ListApp(app string) ([]Entry, error) {
 	if !ValidName(app) {
-		return nil, fmt.Errorf("store: invalid app name %q", app)
+		return nil, fmt.Errorf("store: invalid app name %q: %w", app, os.ErrInvalid)
 	}
 	npDirs, err := os.ReadDir(filepath.Join(s.root, app))
 	if err != nil {
@@ -276,7 +391,7 @@ func (s *Store) ListScale(app string, np int) ([]Entry, error) {
 // missing prefixes are errors — the store never guesses.
 func (s *Store) Resolve(app, prefix string) (Entry, error) {
 	if prefix == "" || !validHashPrefix(prefix) {
-		return Entry{}, fmt.Errorf("store: invalid hash prefix %q", prefix)
+		return Entry{}, fmt.Errorf("store: invalid hash prefix %q: %w", prefix, os.ErrInvalid)
 	}
 	all, err := s.ListApp(app)
 	if err != nil {
@@ -294,7 +409,7 @@ func (s *Store) Resolve(app, prefix string) (Entry, error) {
 	case 1:
 		return matches[0], nil
 	default:
-		return Entry{}, fmt.Errorf("store: hash prefix %q is ambiguous for app %s (%d matches)", prefix, app, len(matches))
+		return Entry{}, fmt.Errorf("store: hash prefix %q is ambiguous for app %s (%d matches): %w", prefix, app, len(matches), ErrAmbiguous)
 	}
 }
 
@@ -312,7 +427,7 @@ func (s *Store) Only(app string, np int) (Entry, error) {
 	case 1:
 		return entries[0], nil
 	default:
-		return Entry{}, fmt.Errorf("store: %d profile sets stored for app %s at np=%d; name the content hash to pick one", len(entries), app, np)
+		return Entry{}, fmt.Errorf("store: %d profile sets stored for app %s at np=%d; name the content hash to pick one: %w", len(entries), app, np, ErrAmbiguous)
 	}
 }
 

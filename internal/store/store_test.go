@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -245,5 +246,157 @@ func TestListDeterministicOrder(t *testing.T) {
 	// The two alpha/4 entries come back hash-sorted.
 	if first[0].Hash > first[1].Hash {
 		t.Fatal("entries for one (app, np) are not hash-sorted")
+	}
+}
+
+// TestHistoryUploadOrder pins the ordering contract the rolling
+// baseline depends on: History returns entries in upload order (the
+// per-scale history.log), not hash order, and an idempotent re-Put
+// never duplicates a log line.
+func TestHistoryUploadOrder(t *testing.T) {
+	s := open(t)
+	payloads := [][]byte{[]byte("run-one"), []byte("run-two"), []byte("run-three")}
+	var keys []Key
+	for _, p := range payloads {
+		k, err := s.Put("cg", 8, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	// Re-Put the first payload: content-addressed, must not re-log.
+	if _, err := s.Put("cg", 8, payloads[0]); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := s.History("cg", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != len(keys) {
+		t.Fatalf("History returned %d entries for %d uploads", len(hist), len(keys))
+	}
+	for i, e := range hist {
+		if e.Key != keys[i] {
+			t.Fatalf("History[%d] = %v, want upload #%d %v", i, e.Key, i, keys[i])
+		}
+	}
+	// The contract is non-trivial only if upload order differs from the
+	// hash order ListScale uses; these payloads were picked to differ.
+	listed, err := s.ListScale("cg", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOrder := true
+	for i := range listed {
+		if listed[i].Key != hist[i].Key {
+			sameOrder = false
+		}
+	}
+	if sameOrder {
+		t.Fatal("test payloads hash in upload order; pick payloads whose hash order differs")
+	}
+	// history.log must stay invisible to the listing API.
+	for _, e := range listed {
+		if e.Hash == historyName {
+			t.Fatal("history.log leaked into ListScale")
+		}
+	}
+}
+
+// TestHistoryLegacyUnlogged: stores written before the history log
+// existed still produce a deterministic order — logged entries first in
+// upload order, unlogged ones appended hash-ascending.
+func TestHistoryLegacyUnlogged(t *testing.T) {
+	s := open(t)
+	a, _ := s.Put("cg", 4, []byte("logged-a"))
+	b, _ := s.Put("cg", 4, []byte("logged-b"))
+	// Rewrite the log so only the second upload is logged, as if the
+	// first landed under an older store version.
+	if err := os.WriteFile(s.historyPath("cg", 4), []byte(b.Hash+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := s.History("cg", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 || hist[0].Key != b || hist[1].Key != a {
+		t.Fatalf("History = %+v, want logged %v then legacy %v", hist, b, a)
+	}
+	// Removing the log entirely degrades to hash-ascending order.
+	if err := os.Remove(s.historyPath("cg", 4)); err != nil {
+		t.Fatal(err)
+	}
+	hist, err = s.History("cg", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 || hist[0].Hash > hist[1].Hash {
+		t.Fatalf("logless History not hash-ascending: %+v", hist)
+	}
+}
+
+// TestHistoryCorruptLog: a logged hash with no stored set is store
+// corruption, reported via the ErrCorrupt sentinel (a 500, not a 4xx,
+// at the serve layer).
+func TestHistoryCorruptLog(t *testing.T) {
+	s := open(t)
+	k, _ := s.Put("cg", 4, []byte("present"))
+	ghost := HashOf([]byte("never stored"))
+	line := k.Hash + "\n" + ghost + "\n"
+	if err := os.WriteFile(s.historyPath("cg", 4), []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.History("cg", 4)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("History over a log naming a missing set: err = %v, want ErrCorrupt", err)
+	}
+	// Junk lines (bad hashes, blanks) are skipped, not errors.
+	if err := os.WriteFile(s.historyPath("cg", 4), []byte("not-a-hash\n\n"+k.Hash+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := s.History("cg", 4)
+	if err != nil || len(hist) != 1 || hist[0].Key != k {
+		t.Fatalf("History with junk lines = %+v, %v", hist, err)
+	}
+}
+
+// TestErrorSentinels pins the error-classification contract the serve
+// layer maps to HTTP statuses: every store error wraps exactly one of
+// os.ErrInvalid (client error), os.ErrNotExist, ErrAmbiguous, or
+// ErrCorrupt.
+func TestErrorSentinels(t *testing.T) {
+	s := open(t)
+	a, _ := s.Put("cg", 4, []byte("payload-a"))
+	b, _ := s.Put("cg", 4, []byte("payload-b"))
+
+	if _, err := s.Get(Key{App: "../evil", NP: 4, Hash: a.Hash}); !errors.Is(err, os.ErrInvalid) {
+		t.Fatalf("Get(bad app): %v, want os.ErrInvalid", err)
+	}
+	missing := Key{App: "cg", NP: 4, Hash: HashOf([]byte("missing"))}
+	if _, err := s.Get(missing); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Get(missing): %v, want os.ErrNotExist", err)
+	}
+	if _, err := s.History("../evil", 4); !errors.Is(err, os.ErrInvalid) {
+		t.Fatalf("History(bad app): %v, want os.ErrInvalid", err)
+	}
+	if _, err := s.History("cg", 0); !errors.Is(err, os.ErrInvalid) {
+		t.Fatalf("History(np=0): %v, want os.ErrInvalid", err)
+	}
+	if _, err := s.Resolve("cg", "zz"); !errors.Is(err, os.ErrInvalid) {
+		t.Fatalf("Resolve(non-hex): %v, want os.ErrInvalid", err)
+	}
+	if a.Hash[0] == b.Hash[0] {
+		if _, err := s.Resolve("cg", a.Hash[:1]); !errors.Is(err, ErrAmbiguous) {
+			t.Fatalf("Resolve(ambiguous): %v, want ErrAmbiguous", err)
+		}
+	}
+	if _, err := s.Only("cg", 4); !errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("Only(two sets): %v, want ErrAmbiguous", err)
+	}
+	if err := os.WriteFile(s.pathFor(a), []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(a); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get(tampered): %v, want ErrCorrupt", err)
 	}
 }

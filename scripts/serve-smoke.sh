@@ -6,7 +6,9 @@
 # report, and diffs it against the offline `scalana-detect -json`
 # output over the same files. Exercises the full wire contract:
 # upload -> content-addressed store -> byte-identical retrieval ->
-# served report identical to the one-shot CLI.
+# served report identical to the one-shot CLI. Then uploads a second
+# run at np=8 and checks GET /v1/watch against scalana-detect -watch
+# over the same store — the streaming-regression byte-parity contract.
 #
 # Usage: scripts/serve-smoke.sh [port]
 set -euo pipefail
@@ -19,6 +21,7 @@ trap 'kill "${server_pid:-}" 2>/dev/null || true; rm -rf "$work"' EXIT
 
 go build -o "$work/scalana-serve" ./cmd/scalana-serve
 go build -o "$work/scalana-detect" ./cmd/scalana-detect
+go build -o "$work/scalana-prof" ./cmd/scalana-prof
 
 # Offline report via the legacy profiles-directory path.
 mkdir -p "$work/profiles"
@@ -57,6 +60,28 @@ diff "$work/offline.json" "$work/cli-store.json"
 curl -fs "http://$addr/v1/sweep?app=cg&scales=4,8" >/dev/null
 curl -fs "http://$addr/v1/stats" >/dev/null
 
+# --- watch mode: upload a second np=8 run, then score the newest run
+# against the rolling baseline, served and offline, byte for byte.
+"$work/scalana-prof" -app cg -np 8 -hz 500 -o "$work/cg.8b.json" >/dev/null
+curl -fs --data-binary @"$work/cg.8b.json" "http://$addr/v1/profiles" >/dev/null
+curl -fs -X POST -d '{"app":"cg"}' "http://$addr/v1/baseline" >/dev/null
+curl -fs "http://$addr/v1/watch?app=cg&np=8&min-runs=1" > "$work/watch-served.json"
+
+# scalana-detect -watch exits 2 when regressions are flagged — either
+# outcome is fine here; only a real failure (exit 1) may kill the smoke.
+watch_rc=0
+"$work/scalana-detect" -app cg -store "$work/store" -watch -np 8 -min-runs 1 \
+  -json "$work/watch-cli.json" >/dev/null || watch_rc=$?
+if [ "$watch_rc" -ne 0 ] && [ "$watch_rc" -ne 2 ]; then
+  echo "scalana-detect -watch failed with exit $watch_rc" >&2
+  exit 1
+fi
+diff "$work/watch-served.json" "$work/watch-cli.json"
+
+# Identical repeated requests must serve identical bytes.
+curl -fs "http://$addr/v1/watch?app=cg&np=8&min-runs=1" > "$work/watch-again.json"
+cmp "$work/watch-served.json" "$work/watch-again.json"
+
 kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true
-echo "serve-smoke: OK (served report byte-identical to offline scalana-detect -json)"
+echo "serve-smoke: OK (served detect and watch reports byte-identical to offline scalana-detect)"
